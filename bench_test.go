@@ -1,0 +1,231 @@
+package hammer
+
+// Root benchmark harness: one testing.B benchmark per paper table/figure
+// (regenerating the experiment end to end in quick mode), plus scaling
+// benchmarks for HAMMER's O(N²) core matching the §6.6 complexity analysis.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// DESIGN.md §4 maps each benchmark to the modules it exercises.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+)
+
+func benchCfg() experiments.Config { return experiments.QuickConfig() }
+
+func BenchmarkFig1a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1a(benchCfg())
+	}
+}
+
+func BenchmarkFig1b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1b(benchCfg())
+	}
+}
+
+func BenchmarkFig2d(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2d(benchCfg())
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3b(benchCfg())
+	}
+}
+
+func BenchmarkFig3c(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3c(benchCfg())
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(benchCfg())
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7(benchCfg())
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8(benchCfg())
+	}
+}
+
+func BenchmarkFig9ThreeReg(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(benchCfg(), "3reg")
+	}
+}
+
+func BenchmarkFig9Grid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig9(benchCfg(), "grid")
+	}
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10a(benchCfg())
+	}
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig10b(benchCfg())
+	}
+}
+
+func BenchmarkFig11Low(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(benchCfg(), false)
+	}
+}
+
+func BenchmarkFig11High(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Fig11(benchCfg(), true)
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	// Fig 12 shares the EHD sweep with Fig 1(b).
+	for i := 0; i < b.N; i++ {
+		experiments.Fig1b(benchCfg())
+	}
+}
+
+func BenchmarkGHZStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.GHZStudy(benchCfg())
+	}
+}
+
+func BenchmarkIBMQAOA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.IBMQAOA(benchCfg())
+	}
+}
+
+func BenchmarkTable3Model(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table3(benchCfg())
+	}
+}
+
+// syntheticDist builds a noisy-histogram-shaped distribution with exactly
+// uniqueOutcomes entries over an n-bit space: a Hamming-clustered core plus
+// a uniform tail, the workload profile of §6.6.
+func syntheticDist(n, uniqueOutcomes int, seed int64) *dist.Dist {
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.New(n)
+	key := bitstr.Bits(rng.Int63()) & bitstr.AllOnes(n)
+	d.Set(key, 0.05)
+	for i := 0; i < n && d.Len() < uniqueOutcomes; i++ {
+		d.Set(bitstr.Flip(key, i), 0.01+0.01*rng.Float64())
+	}
+	for d.Len() < uniqueOutcomes {
+		d.Set(bitstr.Bits(rng.Int63())&bitstr.AllOnes(n), 1e-4*(1+rng.Float64()))
+	}
+	return d.Normalize()
+}
+
+// BenchmarkHammerScaling measures the O(N²) reconstruction across unique-
+// outcome counts (Table 3's independent variable). The paper reports 56 s
+// for ~20K outcomes in single-threaded Python; the Go engine covers the same
+// N in well under a second per op on a multicore host.
+func BenchmarkHammerScaling(b *testing.B) {
+	for _, N := range []int{512, 2048, 8192, 20000} {
+		d := syntheticDist(24, N, 42)
+		b.Run(fmt.Sprintf("N=%d", N), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Run(d)
+			}
+		})
+	}
+}
+
+// BenchmarkHammerWorkers isolates the parallel-scaling of the scoring loop.
+func BenchmarkHammerWorkers(b *testing.B) {
+	d := syntheticDist(20, 4096, 7)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(d, core.Options{Workers: w})
+			}
+		})
+	}
+}
+
+// BenchmarkHammerWeightSchemes measures the ablation variants' cost.
+func BenchmarkHammerWeightSchemes(b *testing.B) {
+	d := syntheticDist(16, 2048, 9)
+	for _, scheme := range []core.WeightScheme{core.InverseCHS, core.UniformWeight, core.ExpDecay} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(d, core.Options{Weights: scheme})
+			}
+		})
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Ablation(benchCfg())
+	}
+}
+
+func BenchmarkComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Comparison(benchCfg())
+	}
+}
+
+func BenchmarkZNEStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ZNEStudy(benchCfg())
+	}
+}
+
+func BenchmarkQVStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.QVStudy(benchCfg())
+	}
+}
+
+func BenchmarkInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Inference(benchCfg())
+	}
+}
+
+func BenchmarkCalibrationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CalibrationStudy(benchCfg())
+	}
+}
+
+func BenchmarkIterated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Iterated(benchCfg())
+	}
+}

@@ -1,0 +1,63 @@
+// Command datasetgen regenerates the synthetic benchmark datasets (the
+// stand-in for the paper's IBM experiments and Google figshare data) as JSON
+// record files, one per suite.
+//
+//	datasetgen -out data/ -max-qubits 12 -shots 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dataset"
+	"repro/internal/noise"
+)
+
+func main() {
+	out := flag.String("out", "data", "output directory")
+	maxQ := flag.Int("max-qubits", 10, "largest circuit size to execute")
+	shots := flag.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
+	seed := flag.Int64("seed", 2022, "master seed")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	layers := []int{1, 2, 3}
+	suites := []struct {
+		suite *dataset.Suite
+		dev   *noise.DeviceModel
+	}{
+		{dataset.BVSuite(*seed, *maxQ), noise.IBMParisLike()},
+		{dataset.QAOA3RegSuite(*seed+1, 6, *maxQ, layers, 2), noise.SycamoreLike()},
+		{dataset.QAOAGridSuite(*seed+2, 6, *maxQ, layers, 2), noise.SycamoreLike()},
+		{dataset.QAOARandSuite(*seed+3, 5, *maxQ, []int{2, 4}, 2), noise.IBMManhattanLike()},
+		{dataset.QAOASKSuite(*seed+4, 4, min(*maxQ, 8), []int{1, 2}, 2), noise.IBMTorontoLike()},
+	}
+	for _, s := range suites {
+		var recs []*dataset.Record
+		for _, inst := range s.suite.Instances {
+			run := dataset.Execute(inst, s.dev, *shots)
+			recs = append(recs, run.ToRecord(1e-9))
+		}
+		path := filepath.Join(*out, s.suite.Name+".json")
+		if err := dataset.SaveFile(path, recs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %3d records to %s (device %s)\n", len(recs), path, s.dev.Name)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datasetgen:", err)
+	os.Exit(1)
+}

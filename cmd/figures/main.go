@@ -1,0 +1,88 @@
+// Command figures regenerates every table and figure of the paper from the
+// simulated substrate. Use -fig to select one (see -list) and -quick for the
+// scaled-down sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+type printable interface{ Table() *experiments.Table }
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to regenerate (or 'all')")
+	quick := flag.Bool("quick", false, "use scaled-down sweeps")
+	list := flag.Bool("list", false, "list figure ids")
+	seed := flag.Int64("seed", 2022, "master seed")
+	shots := flag.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	cfg.Shots = *shots
+
+	drivers := map[string]func() printable{
+		"fig1a":       func() printable { return experiments.Fig1a(cfg) },
+		"fig1b":       func() printable { return experiments.Fig1b(cfg) },
+		"fig2d":       func() printable { return experiments.Fig2d(cfg) },
+		"fig3b":       func() printable { return experiments.Fig3b(cfg) },
+		"fig3c":       func() printable { return experiments.Fig3c(cfg) },
+		"fig5":        func() printable { return experiments.Fig5(cfg) },
+		"fig7":        func() printable { return experiments.Fig7(cfg) },
+		"fig8":        func() printable { return experiments.Fig8(cfg) },
+		"fig9-3reg":   func() printable { return experiments.Fig9(cfg, "3reg") },
+		"fig9-grid":   func() printable { return experiments.Fig9(cfg, "grid") },
+		"fig10a":      func() printable { return experiments.Fig10a(cfg) },
+		"fig10b":      func() printable { return experiments.Fig10b(cfg) },
+		"fig11-low":   func() printable { return experiments.Fig11(cfg, false) },
+		"fig11-high":  func() printable { return experiments.Fig11(cfg, true) },
+		"fig12":       func() printable { return experiments.Fig1b(cfg) },
+		"ghz":         func() printable { return experiments.GHZStudy(cfg) },
+		"table3":      func() printable { return experiments.Table3(cfg) },
+		"ibmqaoa":     func() printable { return experiments.IBMQAOA(cfg) },
+		"ablation":    func() printable { return experiments.Ablation(cfg) },
+		"comparison":  func() printable { return experiments.Comparison(cfg) },
+		"tables12":    func() printable { return experiments.Tables12(cfg) },
+		"zne":         func() printable { return experiments.ZNEStudy(cfg) },
+		"qv":          func() printable { return experiments.QVStudy(cfg) },
+		"inference":   func() printable { return experiments.Inference(cfg) },
+		"calibration": func() printable { return experiments.CalibrationStudy(cfg) },
+		"iterated":    func() printable { return experiments.Iterated(cfg) },
+	}
+
+	ids := make([]string, 0, len(drivers))
+	for id := range drivers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "all" {
+		for _, id := range ids {
+			if id == "fig12" {
+				continue // alias of fig1b
+			}
+			drivers[id]().Table().Fprint(os.Stdout)
+		}
+		return
+	}
+	d, ok := drivers[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+		os.Exit(2)
+	}
+	d().Table().Fprint(os.Stdout)
+}

@@ -1,0 +1,103 @@
+// Command hammerctl applies HAMMER to a measured histogram supplied as JSON
+// on stdin (or a file), writing the reconstructed distribution as JSON to
+// stdout. The input is either {"counts": {"0101": 123, ...}} or a bare
+// {"0101": 123, ...} object; values may be integer counts or probabilities.
+//
+//	echo '{"111": 30, "101": 40, "011": 20, "001": 10}' | hammerctl
+//	hammerctl -in results.json -radius 2 -weights exp-decay
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	hammer "repro"
+)
+
+func main() {
+	in := flag.String("in", "-", "input file ('-' for stdin)")
+	radius := flag.Int("radius", 0, "max Hamming distance (0 = paper default, < n/2)")
+	weights := flag.String("weights", "inverse-chs", "weight scheme: inverse-chs, uniform, exp-decay")
+	noFilter := flag.Bool("no-filter", false, "disable the lower-probability-neighbor filter")
+	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	top := flag.Int("top", 0, "also print the top-K outcomes to stderr")
+	flag.Parse()
+
+	histogram, err := readHistogram(*in)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := hammer.RunWithConfig(histogram, hammer.Config{
+		Radius:        *radius,
+		Weights:       *weights,
+		DisableFilter: *noFilter,
+		Workers:       *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+	if *top > 0 {
+		type kv struct {
+			K string
+			V float64
+		}
+		var entries []kv
+		for k, v := range out {
+			entries = append(entries, kv{k, v})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].V != entries[j].V {
+				return entries[i].V > entries[j].V
+			}
+			return entries[i].K < entries[j].K
+		})
+		if *top < len(entries) {
+			entries = entries[:*top]
+		}
+		for _, e := range entries {
+			fmt.Fprintf(os.Stderr, "%s %.6f\n", e.K, e.V)
+		}
+	}
+}
+
+func readHistogram(path string) (map[string]float64, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	// Accept either {"counts": {...}} or a bare map.
+	var wrapped struct {
+		Counts map[string]float64 `json:"counts"`
+	}
+	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Counts) > 0 {
+		return wrapped.Counts, nil
+	}
+	var bare map[string]float64
+	if err := json.Unmarshal(data, &bare); err != nil {
+		return nil, fmt.Errorf("hammerctl: input is neither a histogram object nor {\"counts\": ...}: %w", err)
+	}
+	return bare, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hammerctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadHistogramBareMap(t *testing.T) {
+	path := writeTemp(t, `{"01": 10, "10": 30}`)
+	h, err := readHistogram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["01"] != 10 || h["10"] != 30 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestReadHistogramWrappedCounts(t *testing.T) {
+	path := writeTemp(t, `{"counts": {"111": 5, "000": 3}}`)
+	h, err := readHistogram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h["111"] != 5 || h["000"] != 3 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestReadHistogramRejectsGarbage(t *testing.T) {
+	path := writeTemp(t, `[1, 2, 3]`)
+	if _, err := readHistogram(path); err == nil {
+		t.Error("expected error for non-object input")
+	}
+	if _, err := readHistogram(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

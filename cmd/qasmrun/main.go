@@ -1,0 +1,121 @@
+// Command qasmrun executes an OpenQASM 2.0 circuit on a simulated noisy
+// device and emits the measured histogram as JSON — optionally post-
+// processed with HAMMER and scored against a known correct outcome.
+//
+//	qasmrun -in bell.qasm -device ibm-paris -shots 8192
+//	qasmrun -in bv.qasm -hammer -correct 10110101
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hamming"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/qasm"
+	"repro/internal/quantum"
+	"repro/internal/transpile"
+)
+
+func main() {
+	in := flag.String("in", "-", "QASM file ('-' for stdin)")
+	device := flag.String("device", "ibm-paris", "device preset: ibm-paris, ibm-manhattan, ibm-toronto, sycamore, noiseless")
+	shots := flag.Int("shots", 8192, "trials (0 = infinite-shot limit)")
+	seed := flag.Int64("seed", 1, "noise/sampling seed")
+	applyHammer := flag.Bool("hammer", false, "post-process with HAMMER")
+	correct := flag.String("correct", "", "known correct outcome (enables PST/IST/EHD report on stderr)")
+	route := flag.Bool("route", true, "route onto a heavy-hex-like coupling before execution")
+	flag.Parse()
+
+	circuit, err := parseInput(*in)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := deviceFor(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	var out *dist.Dist
+	switch {
+	case dev == nil:
+		out = quantum.Run(circuit).Probabilities().Sparse(1e-12)
+	case *route:
+		routed := transpile.Transpile(circuit, transpile.HeavyHexLike(circuit.NumQubits()))
+		out = routed.RemapDist(noise.ExecuteDist(routed.Circuit, dev, *seed))
+	default:
+		out = noise.ExecuteDist(circuit, dev, *seed)
+	}
+	if *shots > 0 {
+		out = out.Sample(rand.New(rand.NewSource(*seed+1)), *shots).Dist()
+	}
+	if *applyHammer {
+		out = core.Run(out)
+	}
+
+	n := circuit.NumQubits()
+	hist := make(map[string]float64, out.Len())
+	out.Range(func(x bitstr.Bits, p float64) { hist[bitstr.Format(x, n)] = p })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(hist); err != nil {
+		fatal(err)
+	}
+
+	if *correct != "" {
+		key, err := bitstr.Parse(*correct)
+		if err != nil {
+			fatal(err)
+		}
+		if len(*correct) != n {
+			fatal(fmt.Errorf("correct outcome has %d bits, circuit has %d", len(*correct), n))
+		}
+		cs := []bitstr.Bits{key}
+		fmt.Fprintf(os.Stderr, "PST %.4f  IST %.4f  EHD %.4f\n",
+			metrics.PST(out, cs), metrics.IST(out, cs), hamming.EHD(out, cs))
+	}
+}
+
+func parseInput(path string) (*quantum.Circuit, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return qasm.Parse(r)
+}
+
+func deviceFor(name string) (*noise.DeviceModel, error) {
+	switch name {
+	case "ibm-paris":
+		return noise.IBMParisLike(), nil
+	case "ibm-manhattan":
+		return noise.IBMManhattanLike(), nil
+	case "ibm-toronto":
+		return noise.IBMTorontoLike(), nil
+	case "sycamore":
+		return noise.SycamoreLike(), nil
+	case "noiseless":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown device %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qasmrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// BV campaign: sweep Bernstein-Vazirani circuits across sizes and simulated
+// devices (the Fig. 8 experiment), printing per-size PST/IST with and
+// without HAMMER and the aggregate improvement factors.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+)
+
+func main() {
+	maxN := flag.Int("max-qubits", 10, "largest BV size to run")
+	shots := flag.Int("shots", 8192, "trials per circuit")
+	seed := flag.Int64("seed", 2022, "suite seed")
+	flag.Parse()
+
+	fmt.Printf("%-22s %6s %9s %9s %9s %9s\n",
+		"device", "qubits", "PST-base", "PST-ham", "IST-base", "IST-ham")
+	var pstIms, istIms []metrics.Improvement
+	for di, dev := range noise.Devices() {
+		suite := dataset.BVSuite(*seed+int64(di), *maxN)
+		perSize := map[int][4]float64{}
+		counts := map[int]int{}
+		for _, inst := range suite.Instances {
+			run := dataset.Execute(inst, dev, *shots)
+			out := core.Run(run.Noisy)
+			pb := metrics.PST(run.Noisy, run.Correct)
+			ph := metrics.PST(out, run.Correct)
+			ib := metrics.IST(run.Noisy, run.Correct)
+			ih := metrics.IST(out, run.Correct)
+			acc := perSize[inst.Qubits]
+			perSize[inst.Qubits] = [4]float64{acc[0] + pb, acc[1] + ph, acc[2] + ib, acc[3] + ih}
+			counts[inst.Qubits]++
+			if pb > 0 {
+				pstIms = append(pstIms, metrics.Improvement{Base: pb, Treated: ph})
+			}
+			if ib > 0 {
+				istIms = append(istIms, metrics.Improvement{Base: ib, Treated: ih})
+			}
+		}
+		for n := 5; n <= *maxN; n++ {
+			c, ok := counts[n]
+			if !ok {
+				continue
+			}
+			acc := perSize[n]
+			k := float64(c)
+			fmt.Printf("%-22s %6d %9.3f %9.3f %9.3f %9.3f\n",
+				dev.Name, n, acc[0]/k, acc[1]/k, acc[2]/k, acc[3]/k)
+		}
+	}
+	fmt.Printf("\ngmean PST improvement: %.2fx (paper: 1.38x)\n", metrics.GeoMeanRatio(pstIms))
+	fmt.Printf("gmean IST improvement: %.2fx (paper: 1.74x)\n", metrics.GeoMeanRatio(istIms))
+}

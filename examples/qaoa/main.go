@@ -1,0 +1,65 @@
+// QAOA Maxcut with a full variational loop on a noisy simulated device:
+// train the circuit parameters with the classical optimizer against the
+// noisy Cost Ratio, then compare the final distribution's quality with and
+// without HAMMER post-processing — and show that optimizing against the
+// HAMMER-processed objective finds a better operating point (§6.5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/noise"
+	"repro/internal/qaoa"
+)
+
+func main() {
+	n := flag.Int("qubits", 10, "graph size")
+	p := flag.Int("layers", 2, "QAOA layers")
+	seed := flag.Int64("seed", 7, "instance seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g := graph.RandomRegular(*n, 3, rng)
+	opt := g.BruteForce()
+	dev := noise.SycamoreLike()
+	circuitFor := func(ps qaoa.Params) *dist.Dist {
+		return noise.ExecuteDist(qaoa.Build(g, ps), dev, *seed)
+	}
+
+	fmt.Printf("Maxcut on a 3-regular graph, n=%d, |E|=%d, Cmin=%.0f, p=%d\n",
+		*n, len(g.Edges), opt.Cost, *p)
+
+	// Variational loop against the noisy baseline objective.
+	baseObj := func(ps qaoa.Params) float64 {
+		return qaoa.CostRatio(circuitFor(ps), g, opt.Cost)
+	}
+	baseParams, baseScore, baseEvals := qaoa.Optimize(qaoa.RampParams(*p), baseObj, 20, 0.12)
+
+	// Variational loop where the optimizer sees HAMMER-processed output.
+	hamObj := func(ps qaoa.Params) float64 {
+		return qaoa.CostRatio(core.Run(circuitFor(ps)), g, opt.Cost)
+	}
+	hamParams, hamScore, hamEvals := qaoa.Optimize(qaoa.RampParams(*p), hamObj, 20, 0.12)
+
+	fmt.Printf("\nbaseline-trained : CR %.3f (%d evaluations)\n", baseScore, baseEvals)
+	fmt.Printf("HAMMER-trained   : CR %.3f (%d evaluations)\n", hamScore, hamEvals)
+
+	// Evaluate both operating points under both post-processing regimes.
+	show := func(label string, ps qaoa.Params) {
+		noisy := circuitFor(ps)
+		fixed := core.Run(noisy)
+		fmt.Printf("%-18s CR baseline %.3f | CR with HAMMER %.3f | ideal %.3f\n",
+			label,
+			qaoa.CostRatio(noisy, g, opt.Cost),
+			qaoa.CostRatio(fixed, g, opt.Cost),
+			qaoa.CostRatio(qaoa.IdealDist(g, ps), g, opt.Cost))
+	}
+	fmt.Println()
+	show("at baseline params:", baseParams)
+	show("at HAMMER params:", hamParams)
+}

@@ -1,0 +1,221 @@
+// Package hammer is the public API of this HAMMER reproduction (Tannu, Das,
+// Ayanzadeh, Qureshi — "HAMMER: Boosting Fidelity of Noisy Quantum Circuits
+// by Exploiting Hamming Behavior of Erroneous Outcomes", ASPLOS 2022).
+//
+// HAMMER is a post-processing pass over the measured output histogram of a
+// noisy quantum program. It exploits the empirical observation that
+// erroneous outcomes cluster at short Hamming distance around correct ones:
+// every outcome's probability is rescaled by a neighborhood score derived
+// from the Cumulative Hamming Strength of its Hamming shells, which boosts
+// outcomes backed by a rich low-probability neighborhood and hammers down
+// isolated or spurious ones.
+//
+// The facade works on plain string-keyed histograms so callers need nothing
+// from the internal packages:
+//
+//	counts := map[string]int{"1111": 812, "1110": 403, ...} // from any backend
+//	fixed, err := hammer.RunCounts(counts)
+//	// fixed["1111"] is now (typically) the top outcome.
+//
+// Simulation, noise modelling, benchmark circuits, and the paper's full
+// experiment suite live under internal/ and are exercised by cmd/figures,
+// the examples, and the root benchmarks.
+package hammer
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/hamming"
+	"repro/internal/metrics"
+)
+
+// Config tunes the reconstruction. The zero value reproduces Algorithm 1
+// from the paper exactly.
+type Config struct {
+	// Radius is the largest Hamming distance admitted into neighborhood
+	// scores; 0 selects the paper's default (< n/2).
+	Radius int
+	// Weights selects the per-distance weight scheme: "inverse-chs" (the
+	// paper's design, default), "uniform", or "exp-decay".
+	Weights string
+	// DisableFilter drops the lower-probability-neighbors-only filter
+	// (ablation).
+	DisableFilter bool
+	// Workers bounds parallelism of the O(N²) scoring loop (0 = all CPUs).
+	Workers int
+}
+
+func (c Config) options() (core.Options, error) {
+	opts := core.Options{
+		Radius:        c.Radius,
+		DisableFilter: c.DisableFilter,
+		Workers:       c.Workers,
+	}
+	switch c.Weights {
+	case "", "inverse-chs":
+		opts.Weights = core.InverseCHS
+	case "uniform":
+		opts.Weights = core.UniformWeight
+	case "exp-decay":
+		opts.Weights = core.ExpDecay
+	default:
+		return opts, fmt.Errorf("hammer: unknown weight scheme %q", c.Weights)
+	}
+	if c.Radius < 0 {
+		return opts, fmt.Errorf("hammer: negative radius %d", c.Radius)
+	}
+	return opts, nil
+}
+
+// Run applies HAMMER to a probability histogram keyed by bitstrings (most
+// significant qubit first). All keys must share one length; values must be
+// non-negative with positive total. The result is the reconstructed,
+// normalized distribution over the same outcomes.
+func Run(histogram map[string]float64) (map[string]float64, error) {
+	return RunWithConfig(histogram, Config{})
+}
+
+// RunCounts is Run for integer shot counts, the raw form quantum backends
+// return.
+func RunCounts(counts map[string]int) (map[string]float64, error) {
+	h := make(map[string]float64, len(counts))
+	for k, v := range counts {
+		if v < 0 {
+			return nil, fmt.Errorf("hammer: negative count %d for %q", v, k)
+		}
+		h[k] = float64(v)
+	}
+	return Run(h)
+}
+
+// RunWithConfig applies HAMMER with explicit options.
+func RunWithConfig(histogram map[string]float64, cfg Config) (map[string]float64, error) {
+	opts, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	d, n, err := toDist(histogram)
+	if err != nil {
+		return nil, err
+	}
+	out := core.Reconstruct(d, opts).Out
+	res := make(map[string]float64, out.Len())
+	out.Range(func(x bitstr.Bits, p float64) {
+		res[bitstr.Format(x, n)] = p
+	})
+	return res, nil
+}
+
+// PST returns the Probability of a Successful Trial (Eq. 3): the total
+// probability mass on the correct outcome set.
+func PST(histogram map[string]float64, correct []string) (float64, error) {
+	d, n, err := toDist(histogram)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := parseCorrect(correct, n)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.PST(d, cs), nil
+}
+
+// IST returns the Inference Strength (Eq. 4): best correct probability over
+// the most frequent incorrect probability. Values above 1 mean the correct
+// answer can be read directly off the histogram.
+func IST(histogram map[string]float64, correct []string) (float64, error) {
+	d, n, err := toDist(histogram)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := parseCorrect(correct, n)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.IST(d, cs), nil
+}
+
+// EHD returns the Expected Hamming Distance (§3.3) of the histogram from
+// the correct outcome set: 0 for a perfect output, approaching n/2 for
+// uniform noise.
+func EHD(histogram map[string]float64, correct []string) (float64, error) {
+	d, n, err := toDist(histogram)
+	if err != nil {
+		return 0, err
+	}
+	cs, err := parseCorrect(correct, n)
+	if err != nil {
+		return 0, err
+	}
+	return hamming.EHD(d, cs), nil
+}
+
+// Spectrum returns the Hamming spectrum of the histogram: element k is the
+// total probability of outcomes at minimum Hamming distance k from the
+// correct set (length n+1).
+func Spectrum(histogram map[string]float64, correct []string) ([]float64, error) {
+	d, n, err := toDist(histogram)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := parseCorrect(correct, n)
+	if err != nil {
+		return nil, err
+	}
+	return hamming.NewSpectrum(d, cs).Bins, nil
+}
+
+func toDist(histogram map[string]float64) (*dist.Dist, int, error) {
+	if len(histogram) == 0 {
+		return nil, 0, fmt.Errorf("hammer: empty histogram")
+	}
+	n := -1
+	for k := range histogram {
+		if n == -1 {
+			n = len(k)
+		} else if len(k) != n {
+			return nil, 0, fmt.Errorf("hammer: mixed key lengths (%d and %d bits)", n, len(k))
+		}
+	}
+	if n == 0 || n > bitstr.MaxBits {
+		return nil, 0, fmt.Errorf("hammer: key length %d out of range [1,%d]", n, bitstr.MaxBits)
+	}
+	d := dist.New(n)
+	for k, v := range histogram {
+		x, err := bitstr.Parse(k)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v < 0 {
+			return nil, 0, fmt.Errorf("hammer: negative mass %v for %q", v, k)
+		}
+		d.Add(x, v)
+	}
+	if d.Total() <= 0 {
+		return nil, 0, fmt.Errorf("hammer: histogram has no mass")
+	}
+	d.Normalize()
+	return d, n, nil
+}
+
+func parseCorrect(correct []string, n int) ([]bitstr.Bits, error) {
+	if len(correct) == 0 {
+		return nil, fmt.Errorf("hammer: empty correct set")
+	}
+	out := make([]bitstr.Bits, 0, len(correct))
+	for _, s := range correct {
+		if len(s) != n {
+			return nil, fmt.Errorf("hammer: correct outcome %q has %d bits, histogram has %d",
+				s, len(s), n)
+		}
+		x, err := bitstr.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, x)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package hammer
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// noisyBV is a realistic BV-style histogram: the key has a rich single-flip
+// neighborhood; a spurious outcome sits far away.
+func noisyBV() map[string]float64 {
+	h := map[string]float64{
+		"11111111": 0.10,
+		"01111111": 0.05, "10111111": 0.05, "11011111": 0.05, "11101111": 0.05,
+		"11110111": 0.05, "11111011": 0.05, "11111101": 0.05, "11111110": 0.05,
+		"00001111": 0.14, // isolated spurious outcome
+	}
+	// Uniform far tail.
+	for _, tail := range []string{
+		"11110000", "11110001", "11110010", "11110100", "11111000",
+		"11110011", "11110101", "11110110", "11111001",
+	} {
+		h[tail] = 0.04
+	}
+	return h
+}
+
+func TestRunBoostsCorrectKey(t *testing.T) {
+	in := noisyBV()
+	out, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["11111111"] <= in["11111111"]/sum(in) {
+		t.Errorf("key not boosted: %v", out["11111111"])
+	}
+	var total float64
+	for _, p := range out {
+		total += p
+	}
+	if !almostEq(total, 1, 1e-9) {
+		t.Errorf("output mass = %v", total)
+	}
+	// The isolated spurious outcome loses its lead.
+	if out["00001111"] >= out["11111111"] {
+		t.Errorf("spurious outcome still ahead: %v vs %v", out["00001111"], out["11111111"])
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	counts := map[string]int{"11": 60, "10": 25, "01": 10, "00": 5}
+	out, err := RunCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("support = %d", len(out))
+	}
+	if _, err := RunCounts(map[string]int{"1": -2}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestRunWithConfigSchemes(t *testing.T) {
+	in := noisyBV()
+	for _, w := range []string{"", "inverse-chs", "uniform", "exp-decay"} {
+		if _, err := RunWithConfig(in, Config{Weights: w}); err != nil {
+			t.Errorf("scheme %q: %v", w, err)
+		}
+	}
+	if _, err := RunWithConfig(in, Config{Weights: "quadratic"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := RunWithConfig(in, Config{Radius: -3}); err == nil {
+		t.Error("negative radius accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := map[string]map[string]float64{
+		"empty":       {},
+		"mixed width": {"01": 1, "011": 1},
+		"bad chars":   {"0x": 1},
+		"no mass":     {"01": 0, "10": 0},
+		"negative":    {"01": -1},
+	}
+	for name, h := range cases {
+		if _, err := Run(h); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestPSTAndIST(t *testing.T) {
+	h := map[string]float64{"111": 0.3, "101": 0.4, "011": 0.3}
+	pst, err := PST(h, []string{"111"})
+	if err != nil || !almostEq(pst, 0.3, 1e-12) {
+		t.Errorf("PST = %v, %v", pst, err)
+	}
+	ist, err := IST(h, []string{"111"})
+	if err != nil || !almostEq(ist, 0.75, 1e-12) {
+		t.Errorf("IST = %v, %v", ist, err)
+	}
+	if _, err := PST(h, []string{"1111"}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	if _, err := PST(h, nil); err == nil {
+		t.Error("empty correct set accepted")
+	}
+}
+
+func TestEHDAndSpectrum(t *testing.T) {
+	h := map[string]float64{"00": 0.5, "01": 0.25, "11": 0.25}
+	ehd, err := EHD(h, []string{"00"})
+	if err != nil || !almostEq(ehd, 0.25*1+0.25*2, 1e-12) {
+		t.Errorf("EHD = %v, %v", ehd, err)
+	}
+	sp, err := Spectrum(h, []string{"00"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.25, 0.25}
+	for k := range want {
+		if !almostEq(sp[k], want[k], 1e-12) {
+			t.Errorf("spectrum = %v", sp)
+		}
+	}
+}
+
+func TestEndToEndImprovement(t *testing.T) {
+	// Full public-API pipeline: noisy histogram -> metrics -> HAMMER ->
+	// metrics, asserting the paper's headline direction.
+	in := noisyBV()
+	correct := []string{"11111111"}
+	pstBefore, _ := PST(norm(in), correct)
+	out, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pstAfter, _ := PST(out, correct)
+	if pstAfter <= pstBefore {
+		t.Errorf("PST did not improve: %v -> %v", pstBefore, pstAfter)
+	}
+	istBefore, _ := IST(norm(in), correct)
+	istAfter, _ := IST(out, correct)
+	if istAfter <= istBefore {
+		t.Errorf("IST did not improve: %v -> %v", istBefore, istAfter)
+	}
+}
+
+func TestKeyFormatsPreserved(t *testing.T) {
+	in := map[string]float64{"0001": 0.5, "1000": 0.5}
+	out, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range out {
+		if len(k) != 4 || strings.Trim(k, "01") != "" {
+			t.Errorf("malformed output key %q", k)
+		}
+	}
+}
+
+func sum(h map[string]float64) float64 {
+	var s float64
+	for _, v := range h {
+		s += v
+	}
+	return s
+}
+
+func norm(h map[string]float64) map[string]float64 {
+	s := sum(h)
+	out := make(map[string]float64, len(h))
+	for k, v := range h {
+		out[k] = v / s
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+package bitstr
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		x, y Bits
+		want int
+	}{
+		{0, 0, 0},
+		{0b1010, 0b1010, 0},
+		{0b1111, 0b0000, 4},
+		{0b1010, 0b0101, 4},
+		{0b1110, 0b1111, 1},
+		{^Bits(0), 0, 64},
+	}
+	for _, c := range cases {
+		if got := Distance(c.x, c.y); got != c.want {
+			t.Errorf("Distance(%b,%b) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	// Symmetry, identity, and triangle inequality.
+	f := func(x, y, z uint64) bool {
+		if Distance(x, y) != Distance(y, x) {
+			return false
+		}
+		if Distance(x, x) != 0 {
+			return false
+		}
+		return Distance(x, z) <= Distance(x, y)+Distance(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(x uint64) bool {
+		n := 64
+		s := Format(x, n)
+		if len(s) != n {
+			return false
+		}
+		y, err := Parse(s)
+		return err == nil && y == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatConvention(t *testing.T) {
+	// Qubit 0 is the rightmost character.
+	if got := Format(0b001, 3); got != "001" {
+		t.Errorf("Format(1,3) = %q, want 001", got)
+	}
+	if got := Format(0b100, 3); got != "100" {
+		t.Errorf("Format(4,3) = %q, want 100", got)
+	}
+	if got := Format(0, 0); got != "" {
+		t.Errorf("Format(0,0) = %q, want empty", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("01x1"); err == nil {
+		t.Error("expected error for invalid character")
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = '0'
+	}
+	if _, err := Parse(string(long)); err == nil {
+		t.Error("expected error for overlong string")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("10a")
+}
+
+func TestMinDistance(t *testing.T) {
+	targets := []Bits{0b0000, 0b1111}
+	if got := MinDistance(0b0001, targets); got != 1 {
+		t.Errorf("MinDistance = %d, want 1", got)
+	}
+	if got := MinDistance(0b0111, targets); got != 1 {
+		t.Errorf("MinDistance = %d, want 1 (closest to 1111)", got)
+	}
+	if got := MinDistance(0b1111, targets); got != 0 {
+		t.Errorf("MinDistance = %d, want 0", got)
+	}
+}
+
+func TestMinDistanceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MinDistance did not panic on empty targets")
+		}
+	}()
+	MinDistance(0, nil)
+}
+
+func TestBitFlip(t *testing.T) {
+	x := MustParse("1010")
+	if Bit(x, 0) != 0 || Bit(x, 1) != 1 || Bit(x, 2) != 0 || Bit(x, 3) != 1 {
+		t.Errorf("Bit views of %04b wrong", x)
+	}
+	if got := Flip(x, 0); got != MustParse("1011") {
+		t.Errorf("Flip bit0 = %04b", got)
+	}
+	if got := Flip(Flip(x, 2), 2); got != x {
+		t.Error("double flip is not identity")
+	}
+}
+
+func TestAllOnes(t *testing.T) {
+	if AllOnes(0) != 0 {
+		t.Error("AllOnes(0) != 0")
+	}
+	if AllOnes(3) != 0b111 {
+		t.Errorf("AllOnes(3) = %b", AllOnes(3))
+	}
+	if AllOnes(64) != ^Bits(0) {
+		t.Error("AllOnes(64) wrong")
+	}
+}
+
+func TestNeighborsCountAndDistance(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{4, 0}, {4, 1}, {4, 2}, {4, 4}, {8, 3}, {10, 2}} {
+		x := Bits(rand.New(rand.NewSource(1)).Uint64()) & AllOnes(tc.n)
+		var count uint64
+		Neighbors(x, tc.n, tc.d, func(y Bits) bool {
+			if Distance(x, y) != tc.d {
+				t.Fatalf("n=%d d=%d: neighbor %b at distance %d", tc.n, tc.d, y, Distance(x, y))
+			}
+			if y&^AllOnes(tc.n) != 0 {
+				t.Fatalf("neighbor %b escapes %d-bit space", y, tc.n)
+			}
+			count++
+			return true
+		})
+		if want := CountAtDistance(tc.n, tc.d); count != want {
+			t.Errorf("n=%d d=%d: got %d neighbors, want %d", tc.n, tc.d, count, want)
+		}
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	var count int
+	Neighbors(0, 8, 2, func(Bits) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d, want 3", count)
+	}
+}
+
+func TestNeighborsOutOfRange(t *testing.T) {
+	called := false
+	Neighbors(0, 4, 5, func(Bits) bool { called = true; return true })
+	if called {
+		t.Error("Neighbors called fn for d > n")
+	}
+	Neighbors(0, 4, -1, func(Bits) bool { called = true; return true })
+	if called {
+		t.Error("Neighbors called fn for d < 0")
+	}
+}
+
+func TestCountAtDistance(t *testing.T) {
+	cases := []struct {
+		n, d int
+		want uint64
+	}{
+		{4, 0, 1}, {4, 1, 4}, {4, 2, 6}, {4, 3, 4}, {4, 4, 1},
+		{10, 5, 252}, {20, 10, 184756}, {4, 5, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := CountAtDistance(c.n, c.d); got != c.want {
+			t.Errorf("CountAtDistance(%d,%d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestCountAtDistanceSumsToSpace(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		var sum uint64
+		for d := 0; d <= n; d++ {
+			sum += CountAtDistance(n, d)
+		}
+		if sum != 1<<uint(n) {
+			t.Errorf("n=%d: shell sizes sum to %d, want %d", n, sum, 1<<uint(n))
+		}
+	}
+}
+
+func TestWeightMatchesStdlib(t *testing.T) {
+	f := func(x uint64) bool { return Weight(x) == bits.OnesCount64(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package circuits builds the benchmark circuit families of the paper's
+// evaluation: Bernstein–Vazirani (Table 2), GHZ (§3.1), and the mirror
+// random-unitary circuits of the entanglement study (§7). QAOA circuits live
+// in package qaoa.
+package circuits
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/quantum"
+)
+
+// BV builds the Bernstein–Vazirani circuit for an n-bit secret key using the
+// standard phase-kickback oracle with one ancilla. The register has n+1
+// qubits: data qubits 0..n-1 and the ancilla at qubit n. The ideal
+// measurement of the data qubits returns the secret with probability 1;
+// marginalize the ancilla with Dist.Marginal(n).
+//
+// The CX chain onto the single ancilla serializes, so circuit depth grows
+// with the key's Hamming weight — and superlinearly once routed onto a
+// sparse coupling map, reproducing the depth scaling §7 blames for BV's
+// faster loss of Hamming structure.
+func BV(n int, secret bitstr.Bits) *quantum.Circuit {
+	if n < 1 || n > 62 {
+		panic(fmt.Sprintf("circuits: BV width %d out of range", n))
+	}
+	if secret&^bitstr.AllOnes(n) != 0 {
+		panic(fmt.Sprintf("circuits: secret %b exceeds %d bits", secret, n))
+	}
+	c := quantum.NewCircuit(n + 1)
+	// Ancilla in |->.
+	c.X(n).H(n)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	// Oracle: f(x) = secret · x.
+	for q := 0; q < n; q++ {
+		if bitstr.Bit(secret, q) == 1 {
+			c.CX(q, n)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	// Uncompute the ancilla to |0> so it measures deterministically.
+	c.H(n).X(n)
+	return c
+}
+
+// AlternatingKey returns the 1010...10 style key of Fig. 8(a) (bit n-1 set).
+func AlternatingKey(n int) bitstr.Bits {
+	var k bitstr.Bits
+	for q := n - 1; q >= 0; q -= 2 {
+		k |= 1 << uint(q)
+	}
+	return k
+}
+
+// GHZ builds the n-qubit GHZ circuit: H on qubit 0 followed by a CX chain.
+// Ideal output is an equal mixture of all-zeros and all-ones.
+func GHZ(n int) *quantum.Circuit {
+	if n < 2 {
+		panic(fmt.Sprintf("circuits: GHZ needs at least 2 qubits, got %d", n))
+	}
+	c := quantum.NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+// GHZCorrect returns the two correct outcomes of a GHZ-n measurement.
+func GHZCorrect(n int) []bitstr.Bits {
+	return []bitstr.Bits{0, bitstr.AllOnes(n)}
+}
+
+// Mirror is the §7 benchmark: |0>^n → H-layer → U_R → U_R† → H-layer,
+// which ideally returns the all-zero state, with the degree of entanglement
+// controlled by the random sub-circuit U_R.
+type Mirror struct {
+	// Full is the complete circuit whose ideal output is |0...0>.
+	Full *quantum.Circuit
+	// Half is H-layer followed by U_R, the state whose entanglement
+	// entropy characterizes the benchmark.
+	Half *quantum.Circuit
+	// BodyDepth is the depth of U_R alone.
+	BodyDepth int
+}
+
+// NewMirror samples a mirror circuit of the given body depth. Each body
+// layer applies a random single-qubit rotation (Rz, Rx, or Ry) to every
+// qubit and a random set of disjoint two-qubit gates (CX or CZ) whose
+// density rises with `twoQubitDensity` in [0,1]. Entanglement entropy of the
+// half circuit grows with depth and density.
+func NewMirror(n, bodyDepth int, twoQubitDensity float64, rng *rand.Rand) *Mirror {
+	if n < 2 {
+		panic(fmt.Sprintf("circuits: mirror needs at least 2 qubits, got %d", n))
+	}
+	if twoQubitDensity < 0 || twoQubitDensity > 1 {
+		panic(fmt.Sprintf("circuits: two-qubit density %v out of [0,1]", twoQubitDensity))
+	}
+	body := quantum.NewCircuit(n)
+	for layer := 0; layer < bodyDepth; layer++ {
+		for q := 0; q < n; q++ {
+			theta := rng.Float64() * 2 * math.Pi
+			switch rng.Intn(3) {
+			case 0:
+				body.RZ(q, theta)
+			case 1:
+				body.RX(q, theta)
+			default:
+				body.RY(q, theta)
+			}
+		}
+		// Disjoint random pairs.
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			if rng.Float64() < twoQubitDensity {
+				a, b := perm[i], perm[i+1]
+				if rng.Intn(2) == 0 {
+					body.CX(a, b)
+				} else {
+					body.CZ(a, b)
+				}
+			}
+		}
+	}
+	return assembleMirror(n, body)
+}
+
+// NewMirrorStructured samples a mirror circuit whose noise exposure is held
+// fixed while its entanglement varies: every body layer applies a rotation
+// to each qubit and exactly floor(n/2) two-qubit gates, but a fraction
+// `crossFraction` of those gates straddle the half-chain cut (entangling the
+// halves) while the rest stay within a half. Gate counts — and therefore
+// accumulated error — are identical across crossFraction values, which
+// decouples entanglement entropy from EHD the way the paper's §7 study
+// requires.
+func NewMirrorStructured(n, bodyDepth int, crossFraction float64, rng *rand.Rand) *Mirror {
+	if n < 4 {
+		panic(fmt.Sprintf("circuits: structured mirror needs at least 4 qubits, got %d", n))
+	}
+	if crossFraction < 0 || crossFraction > 1 {
+		panic(fmt.Sprintf("circuits: cross fraction %v out of [0,1]", crossFraction))
+	}
+	half := n / 2
+	body := quantum.NewCircuit(n)
+	for layer := 0; layer < bodyDepth; layer++ {
+		for q := 0; q < n; q++ {
+			theta := rng.Float64() * 2 * math.Pi
+			switch rng.Intn(3) {
+			case 0:
+				body.RZ(q, theta)
+			case 1:
+				body.RX(q, theta)
+			default:
+				body.RY(q, theta)
+			}
+		}
+		lo := rng.Perm(half)     // qubits 0..half-1
+		hi := rng.Perm(n - half) // qubits half..n-1 (offset below)
+		pairs := half            // two-qubit gates per layer
+		cross := int(crossFraction * float64(pairs))
+		li, hj := 0, 0
+		emit := func(a, b int) {
+			if rng.Intn(2) == 0 {
+				body.CX(a, b)
+			} else {
+				body.CZ(a, b)
+			}
+		}
+		for k := 0; k < cross && li < len(lo) && hj < len(hi); k++ {
+			emit(lo[li], half+hi[hj])
+			li++
+			hj++
+		}
+		// Remaining gates stay within a half (alternating sides).
+		for k := cross; k < pairs; k++ {
+			if k%2 == 0 && li+1 < len(lo) {
+				emit(lo[li], lo[li+1])
+				li += 2
+			} else if hj+1 < len(hi) {
+				emit(half+hi[hj], half+hi[hj+1])
+				hj += 2
+			}
+		}
+	}
+	return assembleMirror(n, body)
+}
+
+func assembleMirror(n int, body *quantum.Circuit) *Mirror {
+	hLayer := quantum.NewCircuit(n)
+	for q := 0; q < n; q++ {
+		hLayer.H(q)
+	}
+	half := quantum.NewCircuit(n).Compose(hLayer).Compose(body)
+	full := quantum.NewCircuit(n).Compose(hLayer).Compose(body).
+		Compose(body.Inverse()).Compose(hLayer)
+	return &Mirror{Full: full, Half: half, BodyDepth: body.Depth()}
+}

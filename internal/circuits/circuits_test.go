@@ -1,0 +1,139 @@
+package circuits
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/entropy"
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBVProducesSecret(t *testing.T) {
+	for _, secret := range []string{"1", "101", "1111", "10110", "1010101010"} {
+		key := bitstr.MustParse(secret)
+		n := len(secret)
+		c := BV(n, key)
+		out := quantum.Run(c).Probabilities().Sparse(1e-12).Marginal(n)
+		if got := out.Prob(key); !almostEq(got, 1, 1e-9) {
+			t.Errorf("BV(%s): P(secret) = %v", secret, got)
+		}
+	}
+}
+
+func TestBVAncillaUncomputed(t *testing.T) {
+	n := 4
+	key := bitstr.MustParse("1011")
+	full := quantum.Run(BV(n, key)).Probabilities().Sparse(1e-12)
+	// The full (n+1)-bit output should be deterministic: ancilla 0, data = key.
+	if got := full.Prob(key); !almostEq(got, 1, 1e-9) {
+		t.Errorf("full-output P = %v (dist %v)", got, full)
+	}
+}
+
+func TestBVZeroKey(t *testing.T) {
+	// Zero secret: no oracle CX at all, output is all-zeros.
+	c := BV(3, 0)
+	if c.Stats().TwoQubit != 0 {
+		t.Errorf("zero key should have no CX, got %d", c.Stats().TwoQubit)
+	}
+	out := quantum.Run(c).Probabilities().Sparse(1e-12).Marginal(3)
+	if !almostEq(out.Prob(0), 1, 1e-9) {
+		t.Errorf("P(000) = %v", out.Prob(0))
+	}
+}
+
+func TestBVDepthGrowsWithKeyWeight(t *testing.T) {
+	// The serialized CX chain makes depth increase with Hamming weight.
+	d1 := BV(10, bitstr.MustParse("0000000001")).Depth()
+	d5 := BV(10, bitstr.MustParse("0000011111")).Depth()
+	d10 := BV(10, bitstr.AllOnes(10)).Depth()
+	if !(d1 < d5 && d5 < d10) {
+		t.Errorf("depths not increasing: %d, %d, %d", d1, d5, d10)
+	}
+}
+
+func TestAlternatingKey(t *testing.T) {
+	if got := AlternatingKey(10); got != bitstr.MustParse("1010101010") {
+		t.Errorf("AlternatingKey(10) = %s", bitstr.Format(got, 10))
+	}
+	if got := AlternatingKey(5); got != bitstr.MustParse("10101") {
+		t.Errorf("AlternatingKey(5) = %s", bitstr.Format(got, 5))
+	}
+}
+
+func TestGHZ(t *testing.T) {
+	n := 6
+	p := quantum.Run(GHZ(n)).Probabilities()
+	correct := GHZCorrect(n)
+	if !almostEq(p.At(correct[0]), 0.5, 1e-12) || !almostEq(p.At(correct[1]), 0.5, 1e-12) {
+		t.Errorf("GHZ output wrong: %v, %v", p.At(correct[0]), p.At(correct[1]))
+	}
+}
+
+func TestMirrorReturnsToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, depth := range []int{2, 5, 10} {
+		m := NewMirror(5, depth, 0.7, rng)
+		p := quantum.Run(m.Full).Probabilities()
+		if !almostEq(p.At(0), 1, 1e-9) {
+			t.Errorf("depth %d: P(|0...0>) = %v", depth, p.At(0))
+		}
+	}
+}
+
+func TestMirrorEntanglementGrowsWithDensity(t *testing.T) {
+	// Zero density: no two-qubit gates, zero entanglement. High density at
+	// moderate depth: significant entanglement.
+	rng := rand.New(rand.NewSource(33))
+	m0 := NewMirror(6, 6, 0, rng)
+	if m0.Half.Stats().TwoQubit != 0 {
+		t.Fatal("density 0 produced two-qubit gates")
+	}
+	e0 := entropy.HalfChain(quantum.Run(m0.Half))
+	if e0 > 1e-9 {
+		t.Errorf("density-0 entropy = %v", e0)
+	}
+	var eHigh float64
+	for trial := 0; trial < 3; trial++ {
+		m1 := NewMirror(6, 6, 1.0, rng)
+		eHigh += entropy.HalfChain(quantum.Run(m1.Half)) / 3
+	}
+	if eHigh < 0.5 {
+		t.Errorf("high-density mean entropy = %v, expected substantial", eHigh)
+	}
+}
+
+func TestMirrorBodyDepthReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewMirror(4, 7, 0.5, rng)
+	if m.BodyDepth < 7 {
+		t.Errorf("body depth %d below layer count", m.BodyDepth)
+	}
+	if m.Full.Depth() < 2*m.BodyDepth {
+		t.Errorf("full depth %d inconsistent with body %d", m.Full.Depth(), m.BodyDepth)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"BV width":       func() { BV(0, 0) },
+		"BV secret wide": func() { BV(3, 0b1111) },
+		"GHZ small":      func() { GHZ(1) },
+		"mirror small":   func() { NewMirror(1, 2, 0.5, rng) },
+		"mirror density": func() { NewMirror(4, 2, 1.5, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+// This file models HAMMER's computational and memory complexity as analyzed
+// in §6.6 of the paper (Table 3).
+
+// OpCount returns the paper's operation-count model for a reconstruction over
+// N unique outcomes: N²+N steps to compute the Hamming weight vector, N²
+// steps for the likelihoods, and N steps for normalization, i.e. 2N²+2N.
+// Per §6.6 the count is independent of the qubit count n.
+func OpCount(uniqueOutcomes int) uint64 {
+	n := uint64(uniqueOutcomes)
+	return 2*n*n + 2*n
+}
+
+// MemoryBytes returns the paper's memory model: two float64 vectors of
+// length n/2 (the CHS and weight vectors), which grows only linearly in the
+// number of qubits.
+func MemoryBytes(qubits int) uint64 {
+	return 2 * uint64(qubits/2) * 8
+}
+
+// Table3Row mirrors one row of Table 3: the operation count (in billions)
+// for a trial budget and a fraction of trials that produce unique outcomes.
+type Table3Row struct {
+	Trials         int
+	UniqueFraction float64 // e.g. 0.10 or 1.00
+	UniqueOutcomes int
+	BillionOps     float64
+}
+
+// Table3 reproduces the paper's Table 3 grid for the given trial budgets and
+// unique-outcome fractions. Operation counts do not depend on the qubit
+// count, exactly as the paper's identical n=100 and n=500 columns show.
+func Table3(trials []int, fractions []float64) []Table3Row {
+	var rows []Table3Row
+	for _, t := range trials {
+		for _, f := range fractions {
+			u := int(float64(t) * f)
+			rows = append(rows, Table3Row{
+				Trials:         t,
+				UniqueFraction: f,
+				UniqueOutcomes: u,
+				BillionOps:     float64(OpCount(u)) / 1e9,
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,306 @@
+// Package core implements Hamming Reconstruction (HAMMER), the paper's
+// primary contribution (§4 and Algorithm 1 in the appendix).
+//
+// HAMMER is a post-processing pass over the noisy output distribution of a
+// NISQ program. For every unique outcome x it computes a likelihood
+//
+//	L(x) = Pr(x) × S(x)
+//
+// where the neighborhood score S(x) is a weighted sum over the Cumulative
+// Hamming Strength (CHS) of x's Hamming neighborhood. Per-distance weights
+// are the inverse of the globally accumulated CHS, neighborhoods are capped
+// at Hamming distance < n/2, and a filter admits only neighbors with lower
+// probability than x so that spurious low-probability outcomes cannot profit
+// from rich neighborhoods. The reconstructed distribution is L normalized.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// WeightScheme selects how per-distance weights are derived from the global
+// CHS. The paper uses InverseCHS; the others exist for the ablation studies
+// motivated in §4.3.
+type WeightScheme int
+
+const (
+	// InverseCHS sets W[d] = 1 / CHS_global[d], the paper's design: crowded
+	// Hamming shells contribute less per neighbor.
+	InverseCHS WeightScheme = iota
+	// UniformWeight sets W[d] = 1 for every admitted distance (ablation:
+	// no shell normalization).
+	UniformWeight
+	// ExpDecay sets W[d] = 2^-d (ablation: fixed geometric attenuation).
+	ExpDecay
+)
+
+func (w WeightScheme) String() string {
+	switch w {
+	case InverseCHS:
+		return "inverse-chs"
+	case UniformWeight:
+		return "uniform"
+	case ExpDecay:
+		return "exp-decay"
+	default:
+		return fmt.Sprintf("WeightScheme(%d)", int(w))
+	}
+}
+
+// Options configure a reconstruction. The zero value reproduces Algorithm 1
+// exactly.
+type Options struct {
+	// Radius is the maximum Hamming distance (inclusive) admitted into
+	// neighborhood scores. Zero selects the paper's default, distances
+	// d < n/2 (DefaultRadius). Negative values panic.
+	Radius int
+
+	// Weights selects the per-distance weight scheme (default InverseCHS).
+	Weights WeightScheme
+
+	// DisableFilter drops the "only lower-probability neighbors give
+	// credit" filter of §4.4 (ablation).
+	DisableFilter bool
+
+	// Workers bounds the parallelism of the O(N²) scoring loop. Zero uses
+	// GOMAXPROCS. One gives the exact single-threaded reference behavior
+	// (results are identical either way; scoring is read-only).
+	Workers int
+
+	// TopM, when positive, truncates the O(N²) pairwise work to the M most
+	// probable outcomes: CHS accumulation and neighborhood scoring run
+	// over that subset only, while tail outcomes score as if isolated
+	// (L(x) = Pr(x)², exactly Algorithm 1's behavior for an outcome with
+	// no admitted neighbors). This bounds runtime at O(M²) for histograms
+	// with very long tails; TopM >= N reproduces the exact algorithm.
+	TopM int
+}
+
+// DefaultRadius returns the largest Hamming distance admitted by the paper's
+// strict d < n/2 rule: n/2-1 for even n, (n-1)/2 for odd n.
+func DefaultRadius(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if n%2 == 0 {
+		return n/2 - 1
+	}
+	return n / 2
+}
+
+func (o Options) radius(n int) int {
+	if o.Radius < 0 {
+		panic(fmt.Sprintf("core: negative radius %d", o.Radius))
+	}
+	if o.Radius == 0 {
+		return DefaultRadius(n)
+	}
+	if o.Radius > n {
+		return n
+	}
+	return o.Radius
+}
+
+// Result carries the reconstructed distribution together with the
+// intermediate quantities that the paper's Fig. 7 walkthrough plots and the
+// experiment drivers report.
+type Result struct {
+	// Out is the reconstructed, normalized distribution.
+	Out *dist.Dist
+	// GlobalCHS[d] is the pairwise-accumulated Hamming strength at
+	// distance d (Algorithm 1, step 1).
+	GlobalCHS []float64
+	// Weights[d] is the per-distance weight (step 2).
+	Weights []float64
+	// Radius is the maximum admitted Hamming distance actually used.
+	Radius int
+}
+
+// Reconstruct applies HAMMER with the given options and returns the full
+// result. The input distribution is not modified; it is treated as already
+// normalized (Counts.Dist output qualifies).
+func Reconstruct(in *dist.Dist, opts Options) *Result {
+	if opts.TopM < 0 {
+		panic(fmt.Sprintf("core: negative TopM %d", opts.TopM))
+	}
+	n := in.NumBits()
+	maxD := opts.radius(n)
+	outs, probs, tail := flattenTop(in, opts.TopM)
+	N := len(outs)
+	if N == 0 {
+		panic("core: cannot reconstruct empty distribution")
+	}
+	workers := opts.workers()
+
+	// Step 1: accumulate the global CHS over all ordered outcome pairs.
+	chs := globalCHS(outs, probs, maxD, workers)
+
+	// Step 2: per-distance weights.
+	w := weights(chs, maxD, opts.Weights)
+
+	// Step 3: per-outcome neighborhood score and likelihood.
+	scores := make([]float64, N)
+	parallelRange(N, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, px := outs[i], probs[i]
+			score := px
+			for j := 0; j < N; j++ {
+				if j == i {
+					continue
+				}
+				py := probs[j]
+				if !opts.DisableFilter && px <= py {
+					continue
+				}
+				if d := bitstr.Distance(x, outs[j]); d <= maxD {
+					score += w[d] * py
+				}
+			}
+			scores[i] = score * px
+		}
+	})
+
+	out := dist.New(n)
+	for i, x := range outs {
+		out.Set(x, scores[i])
+	}
+	// Truncated tail outcomes score as isolated: L(x) = Pr(x)².
+	for _, e := range tail {
+		out.Set(e.X, e.P*e.P)
+	}
+	out.Normalize()
+	return &Result{Out: out, GlobalCHS: chs, Weights: w, Radius: maxD}
+}
+
+// Run is the convenience form of Reconstruct: default options, returning
+// only the reconstructed distribution.
+func Run(in *dist.Dist) *dist.Dist {
+	return Reconstruct(in, Options{}).Out
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// flattenTop extracts parallel outcome/probability slices in deterministic
+// ascending outcome order. When topM > 0 and the support is larger, only
+// the topM most probable outcomes are returned and the rest come back as
+// the tail.
+func flattenTop(d *dist.Dist, topM int) ([]bitstr.Bits, []float64, []dist.Entry) {
+	if topM <= 0 || d.Len() <= topM {
+		outs := d.Outcomes()
+		probs := make([]float64, len(outs))
+		for i, x := range outs {
+			probs[i] = d.Prob(x)
+		}
+		return outs, probs, nil
+	}
+	top := d.TopK(d.Len())
+	head, tail := top[:topM], top[topM:]
+	// Restore deterministic ascending order within the head.
+	sort.Slice(head, func(i, j int) bool { return head[i].X < head[j].X })
+	outs := make([]bitstr.Bits, len(head))
+	probs := make([]float64, len(head))
+	for i, e := range head {
+		outs[i] = e.X
+		probs[i] = e.P
+	}
+	return outs, probs, tail
+}
+
+// globalCHS computes CHS[d] = sum over ordered pairs (x,y) with
+// d(x,y) = d <= maxD of P(y). The accumulation over unordered pairs
+// contributes P(x)+P(y) once, halving the pair loop.
+func globalCHS(outs []bitstr.Bits, probs []float64, maxD, workers int) []float64 {
+	N := len(outs)
+	partial := make([][]float64, workers)
+	parallelRange(N, workers, func(w, lo, hi int) {
+		local := make([]float64, maxD+1)
+		for i := lo; i < hi; i++ {
+			// Self pair: d=0 contributes P(x) once per x.
+			local[0] += probs[i]
+			for j := i + 1; j < N; j++ {
+				if d := bitstr.Distance(outs[i], outs[j]); d <= maxD {
+					local[d] += probs[i] + probs[j]
+				}
+			}
+		}
+		partial[w] = local
+	})
+	chs := make([]float64, maxD+1)
+	for _, local := range partial {
+		if local == nil {
+			continue
+		}
+		for d, v := range local {
+			chs[d] += v
+		}
+	}
+	return chs
+}
+
+func weights(chs []float64, maxD int, scheme WeightScheme) []float64 {
+	w := make([]float64, maxD+1)
+	for d := 0; d <= maxD; d++ {
+		switch scheme {
+		case InverseCHS:
+			if chs[d] > 0 {
+				w[d] = 1 / chs[d]
+			}
+		case UniformWeight:
+			w[d] = 1
+		case ExpDecay:
+			w[d] = 1 / float64(uint64(1)<<uint(d))
+		default:
+			panic(fmt.Sprintf("core: unknown weight scheme %d", scheme))
+		}
+	}
+	return w
+}
+
+// parallelRange splits [0,n) into one contiguous chunk per worker and blocks
+// until every chunk has been processed. The callback receives the worker
+// index so callers can keep per-worker accumulators without locking.
+//
+// Note for the CHS accumulation: chunks are contiguous so the triangular
+// inner loop gives earlier workers more pairs; this is acceptable because the
+// dominant cost (step 3) is uniform per outcome.
+func parallelRange(n, workers int, fn func(worker, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,289 @@
+// Package dataset generates the synthetic benchmark suites standing in for
+// the paper's experimental data (Tables 1 and 2): Bernstein–Vazirani sweeps
+// and QAOA Maxcut instances on grid, 3-regular, Erdős–Rényi, and SK graphs,
+// executed against the simulated device presets. Every suite is
+// deterministic in its seed.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/circuits"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/noise"
+	"repro/internal/qaoa"
+	"repro/internal/quantum"
+	"repro/internal/transpile"
+)
+
+// Kind labels a benchmark family.
+type Kind string
+
+const (
+	KindBV       Kind = "bv"
+	KindGHZ      Kind = "ghz"
+	KindQAOA3Reg Kind = "qaoa-3reg"
+	KindQAOAGrid Kind = "qaoa-grid"
+	KindQAOARand Kind = "qaoa-rand"
+	KindQAOASK   Kind = "qaoa-sk"
+)
+
+// Instance describes one benchmark circuit before execution.
+type Instance struct {
+	ID     string
+	Kind   Kind
+	Qubits int
+
+	// BV fields.
+	Secret bitstr.Bits
+
+	// QAOA fields.
+	Graph  *graph.Graph
+	Params qaoa.Params
+
+	// Seed drives the instance's noise realization (correlated masks).
+	Seed int64
+}
+
+// Run is an executed instance: the ideal and noisy output distributions plus
+// the ground truth needed by every figure of merit.
+type Run struct {
+	Inst    *Instance
+	Device  string
+	Correct []bitstr.Bits // correct outcome set
+	Cmin    float64       // QAOA only: brute-force optimum (negative)
+	Ideal   *dist.Dist
+	Noisy   *dist.Dist // finite-shot histogram as a distribution
+	Shots   int
+}
+
+// Execute builds, transpiles, and simulates the instance on the device,
+// producing a finite-shot noisy histogram. Shots <= 0 uses the exact
+// infinite-shot channel output instead (useful for deterministic tests).
+func Execute(inst *Instance, dev *noise.DeviceModel, shots int) *Run {
+	circuit, correct, cmin, keep := buildCircuit(inst)
+	coupling := couplingFor(inst, circuit.NumQubits())
+	routed := transpile.Transpile(circuit, coupling)
+
+	ideal := quantum.Run(circuit).Probabilities().Sparse(1e-12)
+	noisyPhysical := noise.ExecuteDist(routed.Circuit, dev, inst.Seed)
+	noisy := routed.RemapDist(noisyPhysical)
+	if keep < circuit.NumQubits() {
+		ideal = ideal.Marginal(keep)
+		noisy = noisy.Marginal(keep)
+	}
+	if shots > 0 {
+		rng := rand.New(rand.NewSource(inst.Seed*7919 + 13))
+		noisy = noisy.Sample(rng, shots).Dist()
+	}
+	return &Run{
+		Inst: inst, Device: dev.Name, Correct: correct, Cmin: cmin,
+		Ideal: ideal, Noisy: noisy, Shots: shots,
+	}
+}
+
+// buildCircuit returns the logical circuit, the correct outcome set, the
+// brute-force Cmin (QAOA kinds only; 0 otherwise), and the number of
+// low-order output bits to keep (drops the BV ancilla).
+func buildCircuit(inst *Instance) (*quantum.Circuit, []bitstr.Bits, float64, int) {
+	switch inst.Kind {
+	case KindBV:
+		c := circuits.BV(inst.Qubits, inst.Secret)
+		return c, []bitstr.Bits{inst.Secret}, 0, inst.Qubits
+	case KindGHZ:
+		c := circuits.GHZ(inst.Qubits)
+		return c, circuits.GHZCorrect(inst.Qubits), 0, inst.Qubits
+	case KindQAOA3Reg, KindQAOAGrid, KindQAOARand, KindQAOASK:
+		if inst.Graph == nil {
+			panic(fmt.Sprintf("dataset: instance %s missing graph", inst.ID))
+		}
+		opt := inst.Graph.BruteForce()
+		c := qaoa.Build(inst.Graph, inst.Params)
+		return c, opt.Argmins, opt.Cost, inst.Qubits
+	default:
+		panic(fmt.Sprintf("dataset: unknown kind %q", inst.Kind))
+	}
+}
+
+// couplingFor picks the device topology per family: grid QAOA runs on a
+// matching grid (SWAP-free, §6.4); everything else routes onto a sparse
+// heavy-hex-like IBM coupling.
+func couplingFor(inst *Instance, width int) *transpile.CouplingMap {
+	if inst.Kind == KindQAOAGrid {
+		rows := 1
+		for r := 1; r*r <= width; r++ {
+			if width%r == 0 {
+				rows = r
+			}
+		}
+		return transpile.GridCoupling(rows, width/rows)
+	}
+	return transpile.HeavyHexLike(width)
+}
+
+// Suite is a named list of instances.
+type Suite struct {
+	Name      string
+	Instances []*Instance
+}
+
+// BVSuite mirrors Table 2's BV row: sizes 5..15 with 8 random keys each
+// (88 circuits). MaxQubits truncates the sweep for quick runs.
+func BVSuite(seed int64, maxQubits int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Suite{Name: "ibm-bv"}
+	for n := 5; n <= 15; n++ {
+		for k := 0; k < 8; k++ {
+			secret := bitstr.Bits(rng.Int63n(1 << uint(n)))
+			if k == 0 {
+				secret = circuits.AlternatingKey(n) // the Fig. 8(a) style key
+			}
+			if n > maxQubits {
+				continue
+			}
+			s.Instances = append(s.Instances, &Instance{
+				ID:     fmt.Sprintf("bv-%d-%d", n, k),
+				Kind:   KindBV,
+				Qubits: n,
+				Secret: secret,
+				Seed:   rng.Int63(),
+			})
+		}
+	}
+	return s
+}
+
+// QAOA3RegSuite mirrors the 3-regular Maxcut rows: even sizes, the given
+// layer counts, `perConfig` random graphs each.
+func QAOA3RegSuite(seed int64, minN, maxN int, layers []int, perConfig int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Suite{Name: "qaoa-3reg"}
+	for n := minN; n <= maxN; n++ {
+		if n%2 != 0 || n < 4 {
+			continue // 3-regular graphs need even n >= 4
+		}
+		for _, p := range layers {
+			for k := 0; k < perConfig; k++ {
+				g := graph.RandomRegular(n, 3, rng)
+				s.Instances = append(s.Instances, &Instance{
+					ID:     fmt.Sprintf("qaoa3reg-%d-p%d-%d", n, p, k),
+					Kind:   KindQAOA3Reg,
+					Qubits: n,
+					Graph:  g,
+					Params: jitterParams(qaoa.StandardParams(p), rng),
+					Seed:   rng.Int63(),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// QAOAGridSuite mirrors Table 1's grid row. Grid graphs are deterministic
+// per size; instances vary in layers and parameter operating points.
+func QAOAGridSuite(seed int64, minN, maxN int, layers []int, perConfig int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Suite{Name: "qaoa-grid"}
+	for n := minN; n <= maxN; n += 2 {
+		for _, p := range layers {
+			for k := 0; k < perConfig; k++ {
+				s.Instances = append(s.Instances, &Instance{
+					ID:     fmt.Sprintf("qaoagrid-%d-p%d-%d", n, p, k),
+					Kind:   KindQAOAGrid,
+					Qubits: n,
+					Graph:  graph.GridFor(n),
+					Params: jitterParams(qaoa.StandardParams(p), rng),
+					Seed:   rng.Int63(),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// QAOARandSuite mirrors Table 2's Erdős–Rényi row: connectivity swept from
+// 0.2 (sparse) to 0.8 (highly connected).
+func QAOARandSuite(seed int64, minN, maxN int, layers []int, perConfig int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	densities := []float64{0.2, 0.4, 0.6, 0.8}
+	s := &Suite{Name: "qaoa-rand"}
+	for n := minN; n <= maxN; n++ {
+		for _, p := range layers {
+			for k := 0; k < perConfig; k++ {
+				d := densities[k%len(densities)]
+				g := graph.ErdosRenyi(n, d, rng)
+				if len(g.Edges) == 0 {
+					// An edgeless instance has no meaningful Maxcut; resample densely.
+					g = graph.ErdosRenyi(n, 0.8, rng)
+				}
+				s.Instances = append(s.Instances, &Instance{
+					ID:     fmt.Sprintf("qaoarand-%d-p%d-%d", n, p, k),
+					Kind:   KindQAOARand,
+					Qubits: n,
+					Graph:  g,
+					Params: jitterParams(qaoa.StandardParams(p), rng),
+					Seed:   rng.Int63(),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// QAOASKSuite generates Sherrington–Kirkpatrick instances (Table 1).
+func QAOASKSuite(seed int64, minN, maxN int, layers []int, perConfig int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Suite{Name: "qaoa-sk"}
+	for n := minN; n <= maxN; n++ {
+		for _, p := range layers {
+			for k := 0; k < perConfig; k++ {
+				s.Instances = append(s.Instances, &Instance{
+					ID:     fmt.Sprintf("qaoask-%d-p%d-%d", n, p, k),
+					Kind:   KindQAOASK,
+					Qubits: n,
+					Graph:  graph.SK(n, rng),
+					Params: jitterParams(qaoa.StandardParams(p), rng),
+					Seed:   rng.Int63(),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// jitterParams perturbs the standard operating point slightly, modelling the
+// spread of parameter settings found across a real dataset's optimizer
+// traces.
+func jitterParams(p qaoa.Params, rng *rand.Rand) qaoa.Params {
+	out := qaoa.Params{
+		Betas:  append([]float64(nil), p.Betas...),
+		Gammas: append([]float64(nil), p.Gammas...),
+	}
+	for i := range out.Betas {
+		out.Betas[i] += (rng.Float64() - 0.5) * 0.08
+		out.Gammas[i] += (rng.Float64() - 0.5) * 0.08
+	}
+	return out
+}
+
+// GHZSuite generates GHZ circuits across sizes (the §3.1 characterization
+// workload). GHZ instances have two correct outcomes (all-zeros, all-ones).
+func GHZSuite(seed int64, minN, maxN int) *Suite {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Suite{Name: "ghz"}
+	for n := minN; n <= maxN; n++ {
+		if n < 2 {
+			continue
+		}
+		s.Instances = append(s.Instances, &Instance{
+			ID:     fmt.Sprintf("ghz-%d", n),
+			Kind:   KindGHZ,
+			Qubits: n,
+			Seed:   rng.Int63(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,34 @@
+package density
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/quantum"
+)
+
+func BenchmarkKrausChannel(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		s := NewState(n)
+		ks := DepolarizingKraus(0.01)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s.applyKraus1Q(i%n, ks)
+			}
+		})
+	}
+}
+
+func BenchmarkRunNoisyGHZ(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		c := quantum.NewCircuit(n).H(0)
+		for q := 1; q < n; q++ {
+			c.CX(q-1, q)
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				RunNoisy(c, 0.001, 0.01)
+			}
+		})
+	}
+}

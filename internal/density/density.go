@@ -1,0 +1,378 @@
+// Package density implements a mixed-state (density matrix) simulator with
+// Kraus error channels. It is the validation-grade reference for the noise
+// substrate: where the distribution-level channels of package noise act on
+// measurement probabilities and the trajectory sampler acts on statevectors,
+// this simulator evolves the full 2^n x 2^n density matrix exactly, so the
+// cheaper models can be cross-checked against it on small circuits (see the
+// agreement tests and internal/noise).
+//
+// Complexity is O(4^n) memory and O(4^n) per gate, so it is intended for
+// n <= MaxQubits.
+package density
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/quantum"
+)
+
+// MaxQubits caps the register width (2^12 x 2^12 complex128 = 256 MiB).
+const MaxQubits = 12
+
+// Matrix is a dense square complex matrix in row-major order.
+type Matrix [][]complex128
+
+// NewMatrix allocates a dim x dim zero matrix.
+func NewMatrix(dim int) Matrix {
+	m := make(Matrix, dim)
+	for i := range m {
+		m[i] = make([]complex128, dim)
+	}
+	return m
+}
+
+// State is a density matrix over n qubits. Basis index i has qubit q in the
+// state of bit q of i, matching the rest of the repository.
+type State struct {
+	n   int
+	rho Matrix
+}
+
+// NewState returns |0...0><0...0| over n qubits.
+func NewState(n int) *State {
+	if n < 1 || n > MaxQubits {
+		panic(fmt.Sprintf("density: width %d out of range [1,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, rho: NewMatrix(1 << uint(n))}
+	s.rho[0][0] = 1
+	return s
+}
+
+// FromStatevector builds the pure-state density matrix |psi><psi|.
+func FromStatevector(sv *quantum.State) *State {
+	n := sv.NumQubits()
+	if n > MaxQubits {
+		panic(fmt.Sprintf("density: statevector too wide (%d qubits)", n))
+	}
+	amp := sv.Amplitudes()
+	s := &State{n: n, rho: NewMatrix(len(amp))}
+	for i := range amp {
+		if amp[i] == 0 {
+			continue
+		}
+		for j := range amp {
+			s.rho[i][j] = amp[i] * cmplx.Conj(amp[j])
+		}
+	}
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Trace returns Tr(rho), which is 1 for a valid state.
+func (s *State) Trace() complex128 {
+	var t complex128
+	for i := range s.rho {
+		t += s.rho[i][i]
+	}
+	return t
+}
+
+// Purity returns Tr(rho^2): 1 for pure states, 1/2^n for maximally mixed.
+func (s *State) Purity() float64 {
+	var p float64
+	for i := range s.rho {
+		for j := range s.rho {
+			// Tr(rho^2) = sum_ij rho_ij * rho_ji; rho_ji = conj(rho_ij).
+			re, im := real(s.rho[i][j]), imag(s.rho[i][j])
+			p += re*re + im*im
+		}
+	}
+	return p
+}
+
+// Probabilities returns the measurement distribution, the diagonal of rho.
+func (s *State) Probabilities() *dist.Vector {
+	v := dist.NewVector(s.n)
+	raw := v.Raw()
+	for i := range s.rho {
+		raw[i] = real(s.rho[i][i])
+	}
+	return v
+}
+
+// Apply1Q conjugates rho by a single-qubit unitary on qubit q:
+// rho <- (U ⊗ I) rho (U ⊗ I)†.
+func (s *State) Apply1Q(q int, u quantum.Matrix2) {
+	s.applyKraus1Q(q, []quantum.Matrix2{u})
+}
+
+// ApplyKraus1Q applies a single-qubit channel with the given Kraus operators
+// on qubit q: rho <- sum_k K_k rho K_k†. The operators must satisfy
+// sum K†K = I (checked to a tolerance).
+func (s *State) ApplyKraus1Q(q int, ks []quantum.Matrix2) {
+	if err := checkCompleteness(ks); err != nil {
+		panic(err)
+	}
+	s.applyKraus1Q(q, ks)
+}
+
+func (s *State) applyKraus1Q(q int, ks []quantum.Matrix2) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("density: qubit %d outside register of %d", q, s.n))
+	}
+	dim := len(s.rho)
+	bit := 1 << uint(q)
+	out := NewMatrix(dim)
+	for _, k := range ks {
+		kd := dagger2(k)
+		// Left multiply: tmp = K rho (acts on row index's qubit q).
+		tmp := NewMatrix(dim)
+		for i := 0; i < dim; i++ {
+			i0 := i &^ bit
+			i1 := i | bit
+			r := (i & bit) >> uint(q) // row bit value
+			for j := 0; j < dim; j++ {
+				tmp[i][j] = k[r][0]*s.rho[i0][j] + k[r][1]*s.rho[i1][j]
+			}
+		}
+		// Right multiply: out += tmp K† (acts on column index's qubit q).
+		for i := 0; i < dim; i++ {
+			for j := 0; j < dim; j++ {
+				j0 := j &^ bit
+				j1 := j | bit
+				c := (j & bit) >> uint(q)
+				out[i][j] += tmp[i][j0]*kd[0][c] + tmp[i][j1]*kd[1][c]
+			}
+		}
+	}
+	s.rho = out
+}
+
+// ApplyGate conjugates rho by one circuit gate.
+func (s *State) ApplyGate(g quantum.Gate) {
+	switch g.Name {
+	case quantum.GateCX, quantum.GateCZ, quantum.GateSWAP, quantum.GateRZZ:
+		s.apply2Q(g)
+	default:
+		s.Apply1Q(g.Qubits[0], matrix1QFor(g))
+	}
+}
+
+// apply2Q conjugates by a two-qubit gate using basis-permutation/phase
+// structure (all our 2q gates are monomial matrices).
+func (s *State) apply2Q(g quantum.Gate) {
+	a, b := g.Qubits[0], g.Qubits[1]
+	if a < 0 || a >= s.n || b < 0 || b >= s.n || a == b {
+		panic(fmt.Sprintf("density: bad two-qubit operands %v", g.Qubits))
+	}
+	dim := len(s.rho)
+	// Each of our 2q gates maps basis state i to phase(i) * |perm(i)>.
+	perm := make([]int, dim)
+	phase := make([]complex128, dim)
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := 0; i < dim; i++ {
+		perm[i] = i
+		phase[i] = 1
+		switch g.Name {
+		case quantum.GateCX:
+			if i&ab != 0 {
+				perm[i] = i ^ bb
+			}
+		case quantum.GateCZ:
+			if i&ab != 0 && i&bb != 0 {
+				phase[i] = -1
+			}
+		case quantum.GateSWAP:
+			bitA, bitB := (i&ab)>>uint(a), (i&bb)>>uint(b)
+			if bitA != bitB {
+				perm[i] = i ^ ab ^ bb
+			}
+		case quantum.GateRZZ:
+			theta := g.Params[0]
+			if (i&ab != 0) == (i&bb != 0) {
+				phase[i] = cmplx.Exp(complex(0, -theta/2))
+			} else {
+				phase[i] = cmplx.Exp(complex(0, theta/2))
+			}
+		default:
+			panic(fmt.Sprintf("density: unsupported two-qubit gate %q", g.Name))
+		}
+	}
+	out := NewMatrix(dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			out[perm[i]][perm[j]] = phase[i] * cmplx.Conj(phase[j]) * s.rho[i][j]
+		}
+	}
+	s.rho = out
+}
+
+// ApplyCircuit runs every gate in order.
+func (s *State) ApplyCircuit(c *quantum.Circuit) {
+	if c.NumQubits() != s.n {
+		panic(fmt.Sprintf("density: circuit width %d vs state width %d", c.NumQubits(), s.n))
+	}
+	for _, g := range c.Gates() {
+		s.ApplyGate(g)
+	}
+}
+
+// matrix1QFor recomputes the unitary of a one-qubit gate by replaying it on
+// a tiny statevector (avoids exporting quantum's internal tables).
+func matrix1QFor(g quantum.Gate) quantum.Matrix2 {
+	var u quantum.Matrix2
+	for col := 0; col < 2; col++ {
+		sv := quantum.NewState(1)
+		if col == 1 {
+			sv.Apply1Q(0, quantum.Matrix2{{0, 1}, {1, 0}})
+		}
+		sv.ApplyGate(quantum.Gate{Name: g.Name, Qubits: []int{0}, Params: g.Params})
+		u[0][col] = sv.Amplitudes()[0]
+		u[1][col] = sv.Amplitudes()[1]
+	}
+	return u
+}
+
+func dagger2(m quantum.Matrix2) quantum.Matrix2 {
+	return quantum.Matrix2{
+		{cmplx.Conj(m[0][0]), cmplx.Conj(m[1][0])},
+		{cmplx.Conj(m[0][1]), cmplx.Conj(m[1][1])},
+	}
+}
+
+func checkCompleteness(ks []quantum.Matrix2) error {
+	if len(ks) == 0 {
+		return fmt.Errorf("density: empty Kraus set")
+	}
+	var sum [2][2]complex128
+	for _, k := range ks {
+		kd := dagger2(k)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				sum[i][j] += kd[i][0]*k[0][j] + kd[i][1]*k[1][j]
+			}
+		}
+	}
+	const tol = 1e-9
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(sum[i][j]-want) > tol {
+				return fmt.Errorf("density: Kraus completeness violated: sum K†K = %v", sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Standard single-qubit Kraus channels.
+
+// BitFlipKraus returns the bit-flip channel {sqrt(1-p) I, sqrt(p) X}.
+func BitFlipKraus(p float64) []quantum.Matrix2 {
+	checkProb(p, "bit-flip")
+	a, b := complex(math.Sqrt(1-p), 0), complex(math.Sqrt(p), 0)
+	return []quantum.Matrix2{
+		{{a, 0}, {0, a}},
+		{{0, b}, {b, 0}},
+	}
+}
+
+// PhaseFlipKraus returns the phase-flip channel {sqrt(1-p) I, sqrt(p) Z}.
+func PhaseFlipKraus(p float64) []quantum.Matrix2 {
+	checkProb(p, "phase-flip")
+	a, b := complex(math.Sqrt(1-p), 0), complex(math.Sqrt(p), 0)
+	return []quantum.Matrix2{
+		{{a, 0}, {0, a}},
+		{{b, 0}, {0, -b}},
+	}
+}
+
+// DepolarizingKraus returns the single-qubit depolarizing channel with total
+// error probability p (p/3 each for X, Y, Z).
+func DepolarizingKraus(p float64) []quantum.Matrix2 {
+	checkProb(p, "depolarizing")
+	i := complex(math.Sqrt(1-p), 0)
+	e := complex(math.Sqrt(p/3), 0)
+	return []quantum.Matrix2{
+		{{i, 0}, {0, i}},
+		{{0, e}, {e, 0}},            // X
+		{{0, -1i * e}, {1i * e, 0}}, // Y
+		{{e, 0}, {0, -e}},           // Z
+	}
+}
+
+// AmplitudeDampingKraus returns the T1 relaxation channel with decay
+// probability gamma.
+func AmplitudeDampingKraus(gamma float64) []quantum.Matrix2 {
+	checkProb(gamma, "amplitude damping")
+	return []quantum.Matrix2{
+		{{1, 0}, {0, complex(math.Sqrt(1-gamma), 0)}},
+		{{0, complex(math.Sqrt(gamma), 0)}, {0, 0}},
+	}
+}
+
+func checkProb(p float64, name string) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("density: %s probability %v out of [0,1]", name, p))
+	}
+}
+
+// RunNoisy evolves |0..0> through the circuit, applying the per-qubit Kraus
+// channel after every gate on each touched qubit (eps1 for one-qubit gates,
+// eps2 for two-qubit gates, as depolarizing strengths). This is the exact
+// counterpart of the trajectory sampler's stochastic model.
+func RunNoisy(c *quantum.Circuit, eps1, eps2 float64) *State {
+	s := NewState(c.NumQubits())
+	var k1, k2 []quantum.Matrix2
+	if eps1 > 0 {
+		k1 = DepolarizingKraus(eps1)
+	}
+	if eps2 > 0 {
+		k2 = DepolarizingKraus(eps2)
+	}
+	for _, g := range c.Gates() {
+		s.ApplyGate(g)
+		ks := k1
+		if g.IsTwoQubit() {
+			ks = k2
+		}
+		if ks == nil {
+			continue
+		}
+		for _, q := range g.Qubits {
+			s.applyKraus1Q(q, ks)
+		}
+	}
+	return s
+}
+
+// Fidelity returns the Uhlmann fidelity against a pure reference state:
+// F = <psi| rho |psi>.
+func (s *State) Fidelity(psi *quantum.State) float64 {
+	if psi.NumQubits() != s.n {
+		panic("density: fidelity width mismatch")
+	}
+	amp := psi.Amplitudes()
+	var f complex128
+	for i := range amp {
+		if amp[i] == 0 {
+			continue
+		}
+		for j := range amp {
+			f += cmplx.Conj(amp[i]) * s.rho[i][j] * amp[j]
+		}
+	}
+	return real(f)
+}
+
+// At returns rho[i][j] (for tests).
+func (s *State) At(i, j bitstr.Bits) complex128 { return s.rho[i][j] }

@@ -1,0 +1,230 @@
+package density
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/noise"
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomCircuit(n, gates int, rng *rand.Rand) *quantum.Circuit {
+	c := quantum.NewCircuit(n)
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(7) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RX(q, rng.Float64()*2*math.Pi)
+		case 2:
+			c.RY(q, rng.Float64()*2*math.Pi)
+		case 3:
+			c.RZ(q, rng.Float64()*2*math.Pi)
+		case 4:
+			c.T(q)
+		default:
+			r := rng.Intn(n)
+			if r == q {
+				r = (q + 1) % n
+			}
+			switch rng.Intn(4) {
+			case 0:
+				c.CX(q, r)
+			case 1:
+				c.CZ(q, r)
+			case 2:
+				c.SWAP(q, r)
+			default:
+				c.RZZ(q, r, rng.Float64())
+			}
+		}
+	}
+	return c
+}
+
+func TestPureEvolutionMatchesStatevector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(3)
+		c := randomCircuit(n, 30, rng)
+		sv := quantum.Run(c)
+		ds := NewState(n)
+		ds.ApplyCircuit(c)
+		pSv := sv.Probabilities()
+		pDs := ds.Probabilities()
+		if d := dist.TVDVector(pSv, pDs); d > 1e-9 {
+			t.Fatalf("trial %d: density vs statevector TVD = %v", trial, d)
+		}
+		if !almostEq(ds.Purity(), 1, 1e-9) {
+			t.Fatalf("pure evolution lost purity: %v", ds.Purity())
+		}
+		if !almostEq(real(ds.Trace()), 1, 1e-9) {
+			t.Fatalf("trace = %v", ds.Trace())
+		}
+	}
+}
+
+func TestFromStatevector(t *testing.T) {
+	c := quantum.NewCircuit(2).H(0).CX(0, 1)
+	sv := quantum.Run(c)
+	ds := FromStatevector(sv)
+	if !almostEq(ds.Fidelity(sv), 1, 1e-12) {
+		t.Errorf("self fidelity = %v", ds.Fidelity(sv))
+	}
+	if !almostEq(real(ds.At(0, 3)), 0.5, 1e-12) {
+		t.Errorf("Bell coherence = %v", ds.At(0, 3))
+	}
+}
+
+func TestKrausChannelsCompleteness(t *testing.T) {
+	for name, ks := range map[string][]quantum.Matrix2{
+		"bitflip":   BitFlipKraus(0.3),
+		"phaseflip": PhaseFlipKraus(0.2),
+		"depol":     DepolarizingKraus(0.4),
+		"ampdamp":   AmplitudeDampingKraus(0.25),
+		"bitflip0":  BitFlipKraus(0),
+		"bitflip1":  BitFlipKraus(1),
+	} {
+		if err := checkCompleteness(ks); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBitFlipKrausMatchesClassicalChannel(t *testing.T) {
+	// A bit-flip Kraus channel on a computational-basis state must produce
+	// exactly the classical flip distribution (cross-model validation with
+	// package noise's distribution-level BitFlip).
+	n := 3
+	p := 0.2
+	ds := NewState(n)
+	// Prepare |101>.
+	x := quantum.Matrix2{{0, 1}, {1, 0}}
+	ds.Apply1Q(0, x)
+	ds.Apply1Q(2, x)
+	for q := 0; q < n; q++ {
+		ds.ApplyKraus1Q(q, BitFlipKraus(p))
+	}
+	got := ds.Probabilities()
+
+	want := dist.NewVector(n)
+	want.Set(bitstr.MustParse("101"), 1)
+	(&noise.BitFlip{P: []float64{p, p, p}}).Apply(want)
+
+	if d := dist.TVDVector(got, want); d > 1e-9 {
+		t.Errorf("Kraus vs classical channel TVD = %v", d)
+	}
+}
+
+func TestDepolarizingDrivesToMaximallyMixed(t *testing.T) {
+	ds := NewState(1)
+	ds.Apply1Q(0, quantum.Matrix2{{0, 1}, {1, 0}}) // |1>
+	for i := 0; i < 60; i++ {
+		ds.ApplyKraus1Q(0, DepolarizingKraus(0.3))
+	}
+	if !almostEq(real(ds.At(0, 0)), 0.5, 1e-6) || !almostEq(real(ds.At(1, 1)), 0.5, 1e-6) {
+		t.Errorf("not maximally mixed: %v, %v", ds.At(0, 0), ds.At(1, 1))
+	}
+	if !almostEq(ds.Purity(), 0.5, 1e-6) {
+		t.Errorf("purity = %v", ds.Purity())
+	}
+}
+
+func TestAmplitudeDampingRelaxesToGround(t *testing.T) {
+	ds := NewState(1)
+	ds.Apply1Q(0, quantum.Matrix2{{0, 1}, {1, 0}}) // |1>
+	for i := 0; i < 80; i++ {
+		ds.ApplyKraus1Q(0, AmplitudeDampingKraus(0.15))
+	}
+	if !almostEq(real(ds.At(0, 0)), 1, 1e-5) {
+		t.Errorf("did not relax to |0>: %v", ds.At(0, 0))
+	}
+	// Trace preserved throughout.
+	if !almostEq(real(ds.Trace()), 1, 1e-9) {
+		t.Errorf("trace = %v", ds.Trace())
+	}
+}
+
+func TestPhaseFlipKillsCoherenceNotPopulations(t *testing.T) {
+	// On a Bell state, repeated dephasing of qubit 0 destroys the
+	// off-diagonal coherence but leaves the 50/50 populations intact.
+	ds := NewState(2)
+	ds.ApplyCircuit(quantum.NewCircuit(2).H(0).CX(0, 1))
+	for i := 0; i < 50; i++ {
+		ds.ApplyKraus1Q(0, PhaseFlipKraus(0.25))
+	}
+	if cmplx.Abs(ds.At(0, 3)) > 1e-6 {
+		t.Errorf("coherence survived dephasing: %v", ds.At(0, 3))
+	}
+	p := ds.Probabilities()
+	if !almostEq(p.At(0), 0.5, 1e-9) || !almostEq(p.At(3), 0.5, 1e-9) {
+		t.Errorf("populations changed: %v", p.Raw())
+	}
+}
+
+func TestRunNoisyAgreesWithTrajectorySampler(t *testing.T) {
+	// Exact Kraus evolution vs Monte Carlo Pauli trajectories on GHZ-4
+	// with matched depolarizing rates: distributions must agree within
+	// sampling error.
+	n := 4
+	c := quantum.NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	eps1, eps2 := 0.01, 0.05
+	exact := RunNoisy(c, eps1, eps2).Probabilities().Sparse(0)
+
+	rng := rand.New(rand.NewSource(5))
+	traj := noise.SampleTrajectories(c, noise.PauliModel{Eps1: eps1, Eps2: eps2},
+		rng, 3000, 20).Dist()
+	if d := dist.TVD(exact, traj); d > 0.05 {
+		t.Errorf("Kraus vs trajectory TVD = %v", d)
+	}
+}
+
+func TestRunNoisyFidelityDecaysWithDepth(t *testing.T) {
+	n := 3
+	mk := func(layers int) *quantum.Circuit {
+		c := quantum.NewCircuit(n)
+		for l := 0; l < layers; l++ {
+			c.H(0).CX(0, 1).CX(1, 2).CX(1, 2).CX(0, 1).H(0) // identity block
+		}
+		return c
+	}
+	ideal := quantum.NewState(n)
+	f1 := RunNoisy(mk(1), 0.005, 0.02).Fidelity(ideal)
+	f4 := RunNoisy(mk(4), 0.005, 0.02).Fidelity(ideal)
+	if !(f4 < f1 && f1 < 1) {
+		t.Errorf("fidelity not decaying: depth1 %v, depth4 %v", f1, f4)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := NewState(2)
+	for name, fn := range map[string]func(){
+		"width 0":        func() { NewState(0) },
+		"width too big":  func() { NewState(MaxQubits + 1) },
+		"bad qubit":      func() { s.Apply1Q(5, quantum.Matrix2{{1, 0}, {0, 1}}) },
+		"bad kraus":      func() { s.ApplyKraus1Q(0, []quantum.Matrix2{{{1, 0}, {0, 1}}, {{1, 0}, {0, 1}}}) },
+		"empty kraus":    func() { s.ApplyKraus1Q(0, nil) },
+		"same operands":  func() { s.apply2Q(quantum.Gate{Name: quantum.GateCX, Qubits: []int{1, 1}}) },
+		"bad prob":       func() { BitFlipKraus(1.5) },
+		"width mismatch": func() { s.ApplyCircuit(quantum.NewCircuit(3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

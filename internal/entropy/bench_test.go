@@ -1,0 +1,30 @@
+package entropy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/quantum"
+)
+
+func BenchmarkHalfChain(b *testing.B) {
+	for _, n := range []int{6, 8, 10} {
+		rng := rand.New(rand.NewSource(2))
+		c := quantum.NewCircuit(n)
+		for i := 0; i < 5*n; i++ {
+			q := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				c.RY(q, rng.Float64())
+			} else {
+				c.CX(q, (q+1)%n)
+			}
+		}
+		s := quantum.Run(c)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				HalfChain(s)
+			}
+		})
+	}
+}

@@ -1,0 +1,199 @@
+// Package entropy computes the entanglement entropy of simulator states,
+// the x-axis of the paper's Fig. 11 study ("EHD vs entanglement entropy").
+//
+// The entropy of a bipartition A|B of a pure state is the von Neumann
+// entropy of the reduced density matrix rho_A = Tr_B |psi><psi|. We build
+// rho over the smaller side of the cut and diagonalize it with a hand-rolled
+// cyclic Jacobi eigensolver for Hermitian matrices (stdlib-only constraint).
+package entropy
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/quantum"
+)
+
+// ReducedDensityMatrix traces out all qubits except [0, cut) and returns
+// rho_A as a dense 2^cut x 2^cut Hermitian matrix. Qubit q of the state is
+// bit q of the index, so subsystem A is the low-order bits.
+func ReducedDensityMatrix(s *quantum.State, cut int) [][]complex128 {
+	n := s.NumQubits()
+	if cut <= 0 || cut >= n {
+		panic(fmt.Sprintf("entropy: cut %d must split %d qubits into two non-empty parts", cut, n))
+	}
+	dimA := 1 << uint(cut)
+	dimB := 1 << uint(n-cut)
+	amp := s.Amplitudes()
+	rho := make([][]complex128, dimA)
+	for i := range rho {
+		rho[i] = make([]complex128, dimA)
+	}
+	// rho[a][a'] = sum_b psi[b:a] * conj(psi[b:a'])
+	for b := 0; b < dimB; b++ {
+		base := b << uint(cut)
+		for a := 0; a < dimA; a++ {
+			pa := amp[base|a]
+			if pa == 0 {
+				continue
+			}
+			for a2 := 0; a2 < dimA; a2++ {
+				rho[a][a2] += pa * cmplx.Conj(amp[base|a2])
+			}
+		}
+	}
+	return rho
+}
+
+// Bipartite returns the entanglement entropy (in bits) of the cut separating
+// qubits [0, cut) from the rest. It diagonalizes the reduced density matrix
+// of the smaller side, since both sides share the nonzero spectrum.
+func Bipartite(s *quantum.State, cut int) float64 {
+	n := s.NumQubits()
+	if cut <= 0 || cut >= n {
+		panic(fmt.Sprintf("entropy: cut %d must split %d qubits into two non-empty parts", cut, n))
+	}
+	small := cut
+	if n-cut < cut {
+		// Trace out the small high side instead by relabeling: entropy is
+		// symmetric, so diagonalize rho_B built from the high-order bits.
+		small = n - cut
+		return vonNeumann(eigenvaluesHermitian(reducedHigh(s, small)))
+	}
+	return vonNeumann(eigenvaluesHermitian(ReducedDensityMatrix(s, small)))
+}
+
+// HalfChain returns the entanglement entropy across the middle cut n/2,
+// the single scalar used to characterize a benchmark circuit in Fig. 11.
+func HalfChain(s *quantum.State) float64 {
+	return Bipartite(s, s.NumQubits()/2)
+}
+
+// reducedHigh builds the reduced density matrix of the top `k` qubits.
+func reducedHigh(s *quantum.State, k int) [][]complex128 {
+	n := s.NumQubits()
+	dimA := 1 << uint(k)
+	dimB := 1 << uint(n-k)
+	amp := s.Amplitudes()
+	rho := make([][]complex128, dimA)
+	for i := range rho {
+		rho[i] = make([]complex128, dimA)
+	}
+	for b := 0; b < dimB; b++ {
+		for a := 0; a < dimA; a++ {
+			pa := amp[a<<uint(n-k)|b]
+			if pa == 0 {
+				continue
+			}
+			for a2 := 0; a2 < dimA; a2++ {
+				rho[a][a2] += pa * cmplx.Conj(amp[a2<<uint(n-k)|b])
+			}
+		}
+	}
+	return rho
+}
+
+// vonNeumann computes -sum p log2 p over the eigenvalue spectrum, clipping
+// tiny negatives from numerical error.
+func vonNeumann(eigs []float64) float64 {
+	var h float64
+	for _, p := range eigs {
+		if p < 1e-12 {
+			continue
+		}
+		h -= p * math.Log2(p)
+	}
+	if h < 0 {
+		h = 0
+	}
+	return h
+}
+
+// eigenvaluesHermitian diagonalizes a Hermitian matrix with the cyclic
+// Jacobi method using complex Givens rotations, returning the (real)
+// eigenvalues in no particular order.
+func eigenvaluesHermitian(a [][]complex128) []float64 {
+	m := len(a)
+	if m == 0 {
+		panic("entropy: empty matrix")
+	}
+	for _, row := range a {
+		if len(row) != m {
+			panic("entropy: non-square matrix")
+		}
+	}
+	// Work on a copy.
+	A := make([][]complex128, m)
+	for i := range A {
+		A[i] = append([]complex128(nil), a[i]...)
+	}
+	const tol = 1e-13
+	for sweep := 0; sweep < 100; sweep++ {
+		off := offDiagNorm(A)
+		if off < tol {
+			break
+		}
+		for p := 0; p < m-1; p++ {
+			for q := p + 1; q < m; q++ {
+				rotate(A, p, q)
+			}
+		}
+	}
+	eigs := make([]float64, m)
+	for i := range eigs {
+		eigs[i] = real(A[i][i])
+	}
+	return eigs
+}
+
+func offDiagNorm(A [][]complex128) float64 {
+	var s float64
+	for i := range A {
+		for j := range A {
+			if i != j {
+				s += real(A[i][j])*real(A[i][j]) + imag(A[i][j])*imag(A[i][j])
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// rotate zeroes A[p][q] (and A[q][p]) with a complex Givens rotation,
+// updating rows/columns p and q in place.
+func rotate(A [][]complex128, p, q int) {
+	apq := A[p][q]
+	b := cmplx.Abs(apq)
+	if b < 1e-300 {
+		return
+	}
+	u := apq / complex(b, 0) // e^{i phi}
+	app, aqq := real(A[p][p]), real(A[q][q])
+	tau := (aqq - app) / (2 * b)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+	cs, sc := complex(c, 0), complex(s, 0)
+	m := len(A)
+	for i := 0; i < m; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip, aiq := A[i][p], A[i][q]
+		A[i][p] = cs*aip - sc*cmplx.Conj(u)*aiq
+		A[i][q] = sc*u*aip + cs*aiq
+		A[p][i] = cmplx.Conj(A[i][p])
+		A[q][i] = cmplx.Conj(A[i][q])
+	}
+	newPP := c*c*app - 2*b*s*c + s*s*aqq
+	newQQ := s*s*app + 2*b*s*c + c*c*aqq
+	A[p][p] = complex(newPP, 0)
+	A[q][q] = complex(newQQ, 0)
+	A[p][q] = 0
+	A[q][p] = 0
+}

@@ -1,0 +1,205 @@
+package entropy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProductStateHasZeroEntropy(t *testing.T) {
+	// |0...0> and any product of one-qubit rotations is unentangled.
+	c := quantum.NewCircuit(4).H(0).RX(1, 0.7).RY(2, 1.3).T(3)
+	s := quantum.Run(c)
+	for cut := 1; cut < 4; cut++ {
+		if got := Bipartite(s, cut); got > 1e-9 {
+			t.Errorf("product state cut %d entropy = %v", cut, got)
+		}
+	}
+}
+
+func TestBellPairHasOneBit(t *testing.T) {
+	s := quantum.Run(quantum.NewCircuit(2).H(0).CX(0, 1))
+	if got := Bipartite(s, 1); !almostEq(got, 1, 1e-9) {
+		t.Errorf("Bell entropy = %v, want 1", got)
+	}
+}
+
+func TestGHZEntropyIsOneAcrossAnyCut(t *testing.T) {
+	n := 6
+	c := quantum.NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	s := quantum.Run(c)
+	for cut := 1; cut < n; cut++ {
+		if got := Bipartite(s, cut); !almostEq(got, 1, 1e-8) {
+			t.Errorf("GHZ cut %d entropy = %v, want 1", cut, got)
+		}
+	}
+}
+
+func TestBellPairsAdditive(t *testing.T) {
+	// Two disjoint Bell pairs across the middle cut: entropy = 2 bits.
+	// Pairs (0,2) and (1,3); cut at 2 separates {0,1} from {2,3}.
+	c := quantum.NewCircuit(4).H(0).CX(0, 2).H(1).CX(1, 3)
+	s := quantum.Run(c)
+	if got := Bipartite(s, 2); !almostEq(got, 2, 1e-8) {
+		t.Errorf("two Bell pairs entropy = %v, want 2", got)
+	}
+}
+
+func TestEntropySymmetricUnderComplementaryCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	c := quantum.NewCircuit(5)
+	for i := 0; i < 40; i++ {
+		q := rng.Intn(5)
+		switch rng.Intn(3) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(q, rng.Float64()*math.Pi)
+		default:
+			r := (q + 1 + rng.Intn(4)) % 5
+			c.CX(q, r)
+		}
+	}
+	s := quantum.Run(c)
+	for cut := 1; cut < 5; cut++ {
+		a := Bipartite(s, cut)
+		b := Bipartite(s, 5-cut)
+		_ = b // complementary cut entropy equals for pure states only when
+		// the partition is the same set; here verify bounds instead.
+		if a < -1e-9 || a > float64(min(cut, 5-cut))+1e-9 {
+			t.Errorf("cut %d entropy %v outside [0, %d]", cut, a, min(cut, 5-cut))
+		}
+	}
+}
+
+func TestEntropyBoundedByHalfChain(t *testing.T) {
+	// Max entropy over cut k is min(k, n-k) bits.
+	n := 6
+	c := quantum.NewCircuit(n)
+	// Three Bell pairs across the middle: (0,3), (1,4), (2,5): maximal.
+	for q := 0; q < 3; q++ {
+		c.H(q).CX(q, q+3)
+	}
+	s := quantum.Run(c)
+	if got := HalfChain(s); !almostEq(got, 3, 1e-8) {
+		t.Errorf("half-chain entropy = %v, want 3", got)
+	}
+}
+
+func TestReducedDensityMatrixTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := quantum.NewCircuit(4)
+	for i := 0; i < 25; i++ {
+		q := rng.Intn(4)
+		if rng.Intn(2) == 0 {
+			c.RY(q, rng.Float64()*2)
+		} else {
+			c.CX(q, (q+1)%4)
+		}
+	}
+	s := quantum.Run(c)
+	rho := ReducedDensityMatrix(s, 2)
+	var tr complex128
+	for i := range rho {
+		tr += rho[i][i]
+	}
+	if !almostEq(real(tr), 1, 1e-9) || math.Abs(imag(tr)) > 1e-12 {
+		t.Errorf("trace(rho) = %v", tr)
+	}
+	// Hermiticity.
+	for i := range rho {
+		for j := range rho {
+			d := rho[i][j] - complex(real(rho[j][i]), -imag(rho[j][i]))
+			if math.Hypot(real(d), imag(d)) > 1e-12 {
+				t.Fatalf("rho not Hermitian at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestJacobiKnownEigenvalues(t *testing.T) {
+	// Pauli X has eigenvalues ±1.
+	x := [][]complex128{{0, 1}, {1, 0}}
+	eigs := eigenvaluesHermitian(x)
+	lo, hi := math.Min(eigs[0], eigs[1]), math.Max(eigs[0], eigs[1])
+	if !almostEq(lo, -1, 1e-10) || !almostEq(hi, 1, 1e-10) {
+		t.Errorf("X eigenvalues = %v", eigs)
+	}
+	// Pauli Y (complex entries) has eigenvalues ±1.
+	y := [][]complex128{{0, -1i}, {1i, 0}}
+	eigs = eigenvaluesHermitian(y)
+	lo, hi = math.Min(eigs[0], eigs[1]), math.Max(eigs[0], eigs[1])
+	if !almostEq(lo, -1, 1e-10) || !almostEq(hi, 1, 1e-10) {
+		t.Errorf("Y eigenvalues = %v", eigs)
+	}
+	// Diagonal matrix returns its diagonal.
+	d := [][]complex128{{3, 0, 0}, {0, -2, 0}, {0, 0, 0.5}}
+	eigs = eigenvaluesHermitian(d)
+	sum := eigs[0] + eigs[1] + eigs[2]
+	if !almostEq(sum, 1.5, 1e-10) {
+		t.Errorf("diagonal eigen sum = %v", sum)
+	}
+}
+
+func TestJacobiTracePreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	m := 12
+	a := make([][]complex128, m)
+	for i := range a {
+		a[i] = make([]complex128, m)
+	}
+	for i := 0; i < m; i++ {
+		a[i][i] = complex(rng.NormFloat64(), 0)
+		for j := i + 1; j < m; j++ {
+			v := complex(rng.NormFloat64(), rng.NormFloat64())
+			a[i][j] = v
+			a[j][i] = complex(real(v), -imag(v))
+		}
+	}
+	var trace float64
+	for i := 0; i < m; i++ {
+		trace += real(a[i][i])
+	}
+	eigs := eigenvaluesHermitian(a)
+	var sum float64
+	for _, e := range eigs {
+		sum += e
+	}
+	if !almostEq(sum, trace, 1e-8) {
+		t.Errorf("eigenvalue sum %v != trace %v", sum, trace)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := quantum.NewState(3)
+	for name, fn := range map[string]func(){
+		"cut 0":        func() { Bipartite(s, 0) },
+		"cut n":        func() { Bipartite(s, 3) },
+		"rho cut 0":    func() { ReducedDensityMatrix(s, 0) },
+		"empty matrix": func() { eigenvaluesHermitian(nil) },
+		"non-square":   func() { eigenvaluesHermitian([][]complex128{{1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/circuits"
+	"repro/internal/dataset"
+	"repro/internal/hamming"
+	"repro/internal/noise"
+	"repro/internal/qaoa"
+)
+
+// Fig1aResult is the BV-4 output histogram of Fig. 1(a): erroneous outcomes
+// ranked by probability, annotated with Hamming distance to the correct key.
+type Fig1aResult struct {
+	Key     bitstr.Bits
+	Entries []Fig1aEntry
+	PST     float64
+}
+
+// Fig1aEntry is one histogram bar.
+type Fig1aEntry struct {
+	Outcome bitstr.Bits
+	P       float64
+	HD      int
+}
+
+// Fig1a runs a 4-qubit BV circuit on an IBM-like device and tabulates the
+// histogram.
+func Fig1a(cfg Config) *Fig1aResult {
+	n := 4
+	key := bitstr.AllOnes(n)
+	inst := &dataset.Instance{ID: "fig1a", Kind: dataset.KindBV, Qubits: n,
+		Secret: key, Seed: cfg.Seed}
+	run := dataset.Execute(inst, noise.IBMParisLike(), cfg.Shots)
+	res := &Fig1aResult{Key: key, PST: run.Noisy.Prob(key)}
+	for _, e := range run.Noisy.TopK(8) {
+		res.Entries = append(res.Entries, Fig1aEntry{
+			Outcome: e.X, P: e.P, HD: bitstr.Distance(e.X, key),
+		})
+	}
+	return res
+}
+
+// Table renders the histogram.
+func (r *Fig1aResult) Table() *Table {
+	t := &Table{
+		Title:  "Fig 1(a): BV-4 output histogram (IBM-like device)",
+		Header: []string{"outcome", "probability", "hamming-dist"},
+	}
+	for _, e := range r.Entries {
+		t.AddRow(bitstr.Format(e.Outcome, 4), f4(e.P), fmt.Sprintf("%d", e.HD))
+	}
+	t.AddNote("correct key %s appears with PST %.3f; frequent errors sit at low Hamming distance",
+		bitstr.Format(r.Key, 4), r.PST)
+	return t
+}
+
+// EHDPoint is one (size, EHD) sample of Figs. 1(b) and 12.
+type EHDPoint struct {
+	Qubits  int
+	EHD     float64
+	Uniform float64 // n/2 reference
+	Family  string
+}
+
+// Fig1bResult carries the EHD-vs-size sweeps for BV and QAOA families.
+type Fig1bResult struct {
+	Points []EHDPoint
+}
+
+// Fig1b sweeps circuit sizes and reports the Expected Hamming Distance of
+// noisy outputs against the uniform-error model, for QAOA p=2 (Fig. 1b) and
+// additionally BV and QAOA p=4 (Fig. 12's IBM panel).
+func Fig1b(cfg Config) *Fig1bResult {
+	maxBV, maxQAOA := 15, 16
+	if cfg.Quick {
+		maxBV, maxQAOA = 9, 10
+	}
+	dev := noise.IBMParisLike()
+	res := &Fig1bResult{}
+
+	// BV with the all-ones key (deepest oracle).
+	for n := 5; n <= maxBV; n += 2 {
+		inst := &dataset.Instance{ID: fmt.Sprintf("ehd-bv-%d", n), Kind: dataset.KindBV,
+			Qubits: n, Secret: bitstr.AllOnes(n), Seed: cfg.Seed + int64(n)}
+		run := dataset.Execute(inst, dev, cfg.Shots)
+		res.Points = append(res.Points, EHDPoint{
+			Qubits: n, Family: "BV(111..1)",
+			EHD:     hamming.EHD(run.Noisy, run.Correct),
+			Uniform: hamming.UniformEHD(n),
+		})
+	}
+	// QAOA 3-regular, p=2 and p=4.
+	for _, p := range []int{2, 4} {
+		suite := dataset.QAOA3RegSuite(cfg.Seed+int64(p), 6, maxQAOA, []int{p}, 1)
+		for _, inst := range suite.Instances {
+			run := dataset.Execute(inst, dev, cfg.Shots)
+			res.Points = append(res.Points, EHDPoint{
+				Qubits: inst.Qubits, Family: fmt.Sprintf("QAOA(p=%d)", p),
+				EHD:     hamming.EHD(run.Noisy, run.Correct),
+				Uniform: hamming.UniformEHD(inst.Qubits),
+			})
+		}
+	}
+	return res
+}
+
+// Table renders the sweep.
+func (r *Fig1bResult) Table() *Table {
+	t := &Table{
+		Title:  "Fig 1(b) / Fig 12: Expected Hamming Distance vs circuit size",
+		Header: []string{"family", "qubits", "EHD", "uniform n/2"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Family, fmt.Sprintf("%d", p.Qubits), f3(p.EHD), f3(p.Uniform))
+	}
+	t.AddNote("EHD grows with size but stays below the uniform-error model — the Hamming structure of errors")
+	return t
+}
+
+// SpectrumResult carries a Hamming spectrum (Figs. 3b and 3c).
+type SpectrumResult struct {
+	Title        string
+	NumBits      int
+	BinMass      []float64
+	BinAvg       []float64
+	UniformAvg   []float64
+	CorrectProb  float64
+	TopIncorrect bitstr.Bits
+	TopIncProb   float64
+	TopIncBin    int
+}
+
+// Fig3b computes the Hamming spectrum of a BV-8 output on a Manhattan-like
+// device.
+func Fig3b(cfg Config) *SpectrumResult {
+	n := 8
+	key := bitstr.AllOnes(n)
+	inst := &dataset.Instance{ID: "fig3b", Kind: dataset.KindBV, Qubits: n,
+		Secret: key, Seed: cfg.Seed}
+	run := dataset.Execute(inst, noise.IBMManhattanLike(), cfg.Shots)
+	return spectrumResult("Fig 3(b): Hamming spectrum of BV-8 (Manhattan-like)",
+		run, key)
+}
+
+// Fig3c computes the Hamming spectrum of a QAOA-8 output, which has multiple
+// correct outcomes. The paper's example circuit is *trained* (its ideal
+// distribution concentrates 82%/10.5%/7% on three solutions), so we first
+// optimize the instance's parameters on the noiseless simulator, exactly as
+// the variational loop would.
+func Fig3c(cfg Config) *SpectrumResult {
+	suite := dataset.QAOA3RegSuite(cfg.Seed, 8, 8, []int{2}, 1)
+	inst := suite.Instances[0]
+	cmin := inst.Graph.BruteForce().Cost
+	obj := func(p qaoa.Params) float64 {
+		return qaoa.CostRatio(qaoa.IdealDist(inst.Graph, p), inst.Graph, cmin)
+	}
+	inst.Params, _, _ = qaoa.Optimize(inst.Params, obj, 30, 0.12)
+	run := dataset.Execute(inst, noise.IBMManhattanLike(), cfg.Shots)
+	return spectrumResultMulti("Fig 3(c): Hamming spectrum of trained QAOA-8 (Manhattan-like)",
+		run)
+}
+
+func spectrumResult(title string, run *dataset.Run, key bitstr.Bits) *SpectrumResult {
+	n := run.Noisy.NumBits()
+	sp := hamming.NewSpectrum(run.Noisy, []bitstr.Bits{key})
+	res := &SpectrumResult{Title: title, NumBits: n,
+		CorrectProb: run.Noisy.Prob(key)}
+	fillSpectrum(res, sp, n)
+	// Top incorrect outcome.
+	for _, e := range run.Noisy.TopK(run.Noisy.Len()) {
+		if e.X != key {
+			res.TopIncorrect, res.TopIncProb = e.X, e.P
+			res.TopIncBin = bitstr.Distance(e.X, key)
+			break
+		}
+	}
+	return res
+}
+
+func spectrumResultMulti(title string, run *dataset.Run) *SpectrumResult {
+	n := run.Noisy.NumBits()
+	sp := hamming.NewSpectrum(run.Noisy, run.Correct)
+	correctSet := make(map[bitstr.Bits]bool)
+	var pCorrect float64
+	for _, c := range run.Correct {
+		if !correctSet[c] {
+			correctSet[c] = true
+			pCorrect += run.Noisy.Prob(c)
+		}
+	}
+	res := &SpectrumResult{Title: title, NumBits: n, CorrectProb: pCorrect}
+	fillSpectrum(res, sp, n)
+	for _, e := range run.Noisy.TopK(run.Noisy.Len()) {
+		if !correctSet[e.X] {
+			res.TopIncorrect, res.TopIncProb = e.X, e.P
+			res.TopIncBin = bitstr.MinDistance(e.X, run.Correct)
+			break
+		}
+	}
+	return res
+}
+
+func fillSpectrum(res *SpectrumResult, sp *hamming.Spectrum, n int) {
+	res.BinMass = append([]float64(nil), sp.Bins...)
+	res.BinAvg = make([]float64, n+1)
+	res.UniformAvg = make([]float64, n+1)
+	uniformPer := 1 / float64(uint64(1)<<uint(n))
+	for k := 0; k <= n; k++ {
+		res.BinAvg[k] = sp.BinAverage(k)
+		res.UniformAvg[k] = uniformPer
+	}
+}
+
+// Table renders the spectrum.
+func (r *SpectrumResult) Table() *Table {
+	t := &Table{
+		Title:  r.Title,
+		Header: []string{"bin", "total-mass", "avg-per-string", "uniform-ref"},
+	}
+	for k := 0; k <= r.NumBits; k++ {
+		t.AddRow(fmt.Sprintf("%d", k), f4(r.BinMass[k]), formatSci(r.BinAvg[k]),
+			formatSci(r.UniformAvg[k]))
+	}
+	t.AddNote("correct outcome probability %.4f; most frequent incorrect %s (p=%.4f) sits in bin %d",
+		r.CorrectProb, bitstr.Format(r.TopIncorrect, r.NumBits), r.TopIncProb, r.TopIncBin)
+	return t
+}
+
+func formatSci(v float64) string { return fmt.Sprintf("%.2e", v) }
+
+// GHZCharacterization reproduces the §3.1 observation on GHZ-10: the split
+// between correct and incorrect mass and the share of dominant errors within
+// Hamming distance two.
+type GHZCharacterization struct {
+	Qubits        int
+	CorrectMass   float64
+	IncorrectMass float64
+	// DominantWithin2 is the fraction of the top-10 incorrect outcomes
+	// lying within Hamming distance 2 of a correct answer.
+	DominantWithin2 float64
+}
+
+// GHZStudy runs the GHZ characterization.
+func GHZStudy(cfg Config) *GHZCharacterization {
+	n := 10
+	if cfg.Quick {
+		n = 8
+	}
+	inst := &dataset.Instance{ID: "ghz-study", Kind: dataset.KindGHZ, Qubits: n, Seed: cfg.Seed}
+	run := dataset.Execute(inst, noise.IBMManhattanLike(), cfg.Shots)
+	correct := circuits.GHZCorrect(n)
+	res := &GHZCharacterization{Qubits: n}
+	res.CorrectMass = run.Noisy.Prob(correct[0]) + run.Noisy.Prob(correct[1])
+	res.IncorrectMass = 1 - res.CorrectMass
+	within := 0
+	total := 0
+	for _, e := range run.Noisy.TopK(12) {
+		if e.X == correct[0] || e.X == correct[1] {
+			continue
+		}
+		total++
+		if bitstr.MinDistance(e.X, correct) <= 2 {
+			within++
+		}
+		if total == 10 {
+			break
+		}
+	}
+	if total > 0 {
+		res.DominantWithin2 = float64(within) / float64(total)
+	}
+	return res
+}
+
+// Table renders the GHZ study.
+func (r *GHZCharacterization) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("§3.1: GHZ-%d error characterization", r.Qubits),
+		Header: []string{"quantity", "value"},
+	}
+	t.AddRow("correct outcome mass", f3(r.CorrectMass))
+	t.AddRow("incorrect outcome mass", f3(r.IncorrectMass))
+	t.AddRow("dominant errors within HD 2", f3(r.DominantWithin2))
+	t.AddNote("paper: 45%% correct / 55%% incorrect; majority of dominant errors within HD 2")
+	return t
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/bitstr"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/metrics"
+	"repro/internal/noise"
+	"repro/internal/readout"
+	"repro/internal/transpile"
+)
+
+// ComparisonRow aggregates one post-processing scheme over the campaign.
+type ComparisonRow struct {
+	Name     string
+	GmeanPST float64
+}
+
+// ComparisonResult compares HAMMER against the related post-processing
+// schemes of §8: readout mitigation (refs [8, 21]), an ensemble of diverse
+// mappings (refs [34, 42]), and compositions with HAMMER.
+type ComparisonResult struct {
+	Circuits int
+	Rows     []ComparisonRow
+}
+
+// Comparison runs a BV campaign through every scheme. EDM needs its own
+// execution path (k mappings per circuit), so this driver owns the loop
+// rather than reusing dataset.Execute.
+func Comparison(cfg Config) *ComparisonResult {
+	maxN, perSize := 10, 3
+	if cfg.Quick {
+		maxN, perSize = 8, 2
+	}
+	dev := noise.IBMParisLike()
+	const ensembleK = 3
+	ims := map[string][]metrics.Improvement{}
+	names := []string{"readout-mitigation", "hammer", "readout+hammer",
+		"diverse-mappings(k=3)", "diverse+hammer"}
+	count := 0
+	seed := cfg.Seed
+	for n := 5; n <= maxN; n++ {
+		for k := 0; k < perSize; k++ {
+			seed++
+			key := bitstr.Bits(uint64(seed*2654435761)) & bitstr.AllOnes(n)
+			c := circuits.BV(n, key)
+			cm := transpile.HeavyHexLike(n + 1)
+			routed := transpile.Transpile(c, cm)
+			noisy := routed.RemapDist(noise.ExecuteDist(routed.Circuit, dev, seed)).Marginal(n)
+			base := metrics.PST(noisy, []bitstr.Bits{key})
+			if base <= 0 {
+				continue
+			}
+			count++
+			cal := readout.Uniform(n, dev.ReadoutP01, dev.ReadoutP10)
+			outputs := map[string]*dist.Dist{}
+			for _, p := range baselines.StandardPipelines(cal) {
+				if p.Name == "baseline" {
+					continue
+				}
+				outputs[p.Name] = p.Apply(noisy)
+			}
+			edm := baselines.DiverseMappings(c, cm, dev, seed, ensembleK,
+				baselines.MergeMean).Marginal(n)
+			outputs["diverse-mappings(k=3)"] = edm
+			outputs["diverse+hammer"] = core.Run(edm)
+			for name, out := range outputs {
+				ims[name] = append(ims[name], metrics.Improvement{
+					Base: base, Treated: metrics.PST(out, []bitstr.Bits{key})})
+			}
+		}
+	}
+	res := &ComparisonResult{Circuits: count}
+	for _, name := range names {
+		res.Rows = append(res.Rows, ComparisonRow{
+			Name: name, GmeanPST: metrics.GeoMeanRatio(ims[name])})
+	}
+	return res
+}
+
+// Row returns the named row.
+func (r *ComparisonResult) Row(name string) ComparisonRow {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row
+		}
+	}
+	panic(fmt.Sprintf("experiments: no comparison scheme %q", name))
+}
+
+// Table renders the comparison.
+func (r *ComparisonResult) Table() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("§8 comparison: post-processing schemes over %d BV circuits", r.Circuits),
+		Header: []string{"scheme", "gmean PST gain vs baseline"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.Name, f2x(row.GmeanPST))
+	}
+	t.AddNote("HAMMER composes with readout mitigation and diverse mappings (§8: 'compatible with all of these policies')")
+	return t
+}

@@ -1,0 +1,103 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver produces both structured data (consumed by
+// tests and the root benchmark harness) and a printable Table (consumed by
+// cmd/figures). DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Quick shrinks circuit sizes and instance counts so the full figure
+	// set regenerates in seconds (used by tests and -quick runs). Full
+	// runs use the paper-scale sweeps.
+	Quick bool
+	// Seed drives every random choice; a fixed seed reproduces a run
+	// bit for bit.
+	Seed int64
+	// Shots is the per-circuit trial budget (0 = infinite-shot limit).
+	Shots int
+}
+
+// DefaultConfig mirrors the paper's setup: 8K trials.
+func DefaultConfig() Config {
+	return Config{Seed: 2022, Shots: 8192}
+}
+
+// QuickConfig is DefaultConfig scaled down for fast regeneration.
+func QuickConfig() Config {
+	return Config{Quick: true, Seed: 2022, Shots: 4096}
+}
+
+// Table is a printable result: aligned columns plus free-form notes, the
+// textual equivalent of one paper figure.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a formatted note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, " ", strings.Join(parts, "  "))
+	}
+	printRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func f2x(v float64) string { return fmt.Sprintf("%.2fx", v) }

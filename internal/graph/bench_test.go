@@ -1,0 +1,25 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBruteForce(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		g := RandomRegular(n, 3, rand.New(rand.NewSource(4)))
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g.BruteForce()
+			}
+		})
+	}
+}
+
+func BenchmarkCutCost(b *testing.B) {
+	g := RandomRegular(20, 3, rand.New(rand.NewSource(4)))
+	for i := 0; i < b.N; i++ {
+		g.CutCost(uint64(i) & ((1 << 20) - 1))
+	}
+}

@@ -1,0 +1,251 @@
+// Package graph provides the input-graph families used by the paper's QAOA
+// Maxcut workloads (Tables 1 and 2): Erdős–Rényi random graphs, random
+// d-regular graphs, rings (2-regular), 2-D grid graphs, and
+// Sherrington–Kirkpatrick instances — together with the Ising-form cut cost
+// and brute-force optimum used to compute Cost Ratios.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstr"
+)
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// Graph is an undirected weighted graph over vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges []Edge
+}
+
+// Validate checks vertex indices and rejects self-loops.
+func (g *Graph) Validate() error {
+	if g.N <= 0 {
+		return fmt.Errorf("graph: no vertices")
+	}
+	for _, e := range g.Edges {
+		if e.U < 0 || e.U >= g.N || e.V < 0 || e.V >= g.N {
+			return fmt.Errorf("graph: edge (%d,%d) outside %d vertices", e.U, e.V, g.N)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("graph: self-loop at %d", e.U)
+		}
+	}
+	return nil
+}
+
+// Degrees returns the per-vertex degree.
+func (g *Graph) Degrees() []int {
+	d := make([]int, g.N)
+	for _, e := range g.Edges {
+		d[e.U]++
+		d[e.V]++
+	}
+	return d
+}
+
+// CutCost returns the Ising-form cost of assignment x:
+//
+//	C(x) = sum_{(u,v,w)} w * z_u * z_v,  z_i = +1 if bit i of x is 0, else -1.
+//
+// Following the paper's Maxcut formulation (and Harrigan et al.), the best
+// cut minimizes C; for unit weights a cut edge contributes -w, so desired
+// cuts have negative cost (§3.4).
+func (g *Graph) CutCost(x bitstr.Bits) float64 {
+	var c float64
+	for _, e := range g.Edges {
+		zu := 1.0 - 2.0*float64(bitstr.Bit(x, e.U))
+		zv := 1.0 - 2.0*float64(bitstr.Bit(x, e.V))
+		c += e.W * zu * zv
+	}
+	return c
+}
+
+// CutEdges returns the number of edges crossing the cut defined by x.
+func (g *Graph) CutEdges(x bitstr.Bits) int {
+	cut := 0
+	for _, e := range g.Edges {
+		if bitstr.Bit(x, e.U) != bitstr.Bit(x, e.V) {
+			cut++
+		}
+	}
+	return cut
+}
+
+// Optimum holds the brute-force minimum cost and every assignment achieving
+// it (the "desired cuts" of Fig. 5; at least two exist by Z2 symmetry).
+type Optimum struct {
+	Cost    float64
+	Argmins []bitstr.Bits
+}
+
+// BruteForce enumerates all 2^N assignments and returns the optimum. It
+// panics for N > 24.
+func (g *Graph) BruteForce() Optimum {
+	if g.N > 24 {
+		panic(fmt.Sprintf("graph: brute force over %d vertices is infeasible", g.N))
+	}
+	const eps = 1e-9
+	best := Optimum{Cost: g.CutCost(0)}
+	best.Argmins = []bitstr.Bits{0}
+	for x := bitstr.Bits(1); x < 1<<uint(g.N); x++ {
+		c := g.CutCost(x)
+		switch {
+		case c < best.Cost-eps:
+			best.Cost = c
+			best.Argmins = best.Argmins[:0]
+			best.Argmins = append(best.Argmins, x)
+		case c <= best.Cost+eps:
+			best.Argmins = append(best.Argmins, x)
+		}
+	}
+	return best
+}
+
+// MaxCost returns the brute-force maximum cost (used to normalize landscape
+// plots). Panics for N > 24.
+func (g *Graph) MaxCost() float64 {
+	if g.N > 24 {
+		panic(fmt.Sprintf("graph: brute force over %d vertices is infeasible", g.N))
+	}
+	best := g.CutCost(0)
+	for x := bitstr.Bits(1); x < 1<<uint(g.N); x++ {
+		if c := g.CutCost(x); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// ErdosRenyi samples G(n, p) with unit edge weights, the random-graph family
+// of Table 2 ("degree of connectivity between 0.2 and 0.8").
+func ErdosRenyi(n int, p float64, rng *rand.Rand) *Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: edge probability %v out of [0,1]", p))
+	}
+	g := &Graph{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.Edges = append(g.Edges, Edge{U: u, V: v, W: 1})
+			}
+		}
+	}
+	return g
+}
+
+// RandomRegular samples a uniform-ish random d-regular simple graph via the
+// configuration (pairing) model with rejection, the 3-regular family of
+// Tables 1 and 2. n*d must be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 || d >= n || d < 1 {
+		panic(fmt.Sprintf("graph: no %d-regular graph on %d vertices", d, n))
+	}
+	for attempt := 0; attempt < 1000; attempt++ {
+		if g, ok := tryPairing(n, d, rng); ok {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("graph: pairing model failed to produce a simple %d-regular graph on %d vertices", d, n))
+}
+
+func tryPairing(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	seen := make(map[[2]int]bool)
+	g := &Graph{N: n}
+	for i := 0; i < len(stubs); i += 2 {
+		u, v := stubs[i], stubs[i+1]
+		if u == v {
+			return nil, false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if seen[key] {
+			return nil, false
+		}
+		seen[key] = true
+		g.Edges = append(g.Edges, Edge{U: u, V: v, W: 1})
+	}
+	return g, true
+}
+
+// Ring returns the cycle graph C_n (2-regular), used in Fig. 12's QAOA sweep.
+func Ring(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring needs at least 3 vertices, got %d", n))
+	}
+	g := &Graph{N: n}
+	for v := 0; v < n; v++ {
+		g.Edges = append(g.Edges, Edge{U: v, V: (v + 1) % n, W: 1})
+	}
+	return g
+}
+
+// Grid returns the rows×cols lattice graph, the "hardware grid" family of
+// the Google dataset (Table 1) which maps onto Sycamore without SWAPs.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		panic(fmt.Sprintf("graph: bad grid %dx%d", rows, cols))
+	}
+	g := &Graph{N: rows * cols}
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.Edges = append(g.Edges, Edge{U: id(r, c), V: id(r, c+1), W: 1})
+			}
+			if r+1 < rows {
+				g.Edges = append(g.Edges, Edge{U: id(r, c), V: id(r+1, c), W: 1})
+			}
+		}
+	}
+	return g
+}
+
+// GridFor returns a near-square grid with exactly n vertices when n factors
+// reasonably (rows*cols = n, rows as close to sqrt(n) as possible).
+func GridFor(n int) *Graph {
+	if n < 2 {
+		panic("graph: grid needs at least 2 vertices")
+	}
+	best := 1
+	for r := 1; r*r <= n; r++ {
+		if n%r == 0 {
+			best = r
+		}
+	}
+	return Grid(best, n/best)
+}
+
+// SK returns a Sherrington–Kirkpatrick instance: the complete graph with
+// i.i.d. ±1 weights (Table 1's SK model family).
+func SK(n int, rng *rand.Rand) *Graph {
+	if n < 2 {
+		panic("graph: SK needs at least 2 vertices")
+	}
+	g := &Graph{N: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			w := 1.0
+			if rng.Intn(2) == 0 {
+				w = -1.0
+			}
+			g.Edges = append(g.Edges, Edge{U: u, V: v, W: w})
+		}
+	}
+	return g
+}

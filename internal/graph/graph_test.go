@@ -1,0 +1,231 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCutCostTriangle(t *testing.T) {
+	// Triangle: any bipartition cuts exactly 2 of 3 edges.
+	g := &Graph{N: 3, Edges: []Edge{{0, 1, 1}, {1, 2, 1}, {0, 2, 1}}}
+	// x = 001: z = (-1, +1, +1). C = (-1)(1) + (1)(1) + (-1)(1) = -1.
+	if got := g.CutCost(0b001); !almostEq(got, -1, 1e-12) {
+		t.Errorf("CutCost(001) = %v", got)
+	}
+	// Uncut assignment: all same side, C = +3.
+	if got := g.CutCost(0b000); !almostEq(got, 3, 1e-12) {
+		t.Errorf("CutCost(000) = %v", got)
+	}
+	if g.CutEdges(0b001) != 2 || g.CutEdges(0b000) != 0 {
+		t.Errorf("CutEdges wrong")
+	}
+}
+
+func TestCutCostZ2Symmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := ErdosRenyi(8, 0.5, rng)
+	mask := bitstr.AllOnes(8)
+	for trial := 0; trial < 20; trial++ {
+		x := bitstr.Bits(rng.Intn(256))
+		if !almostEq(g.CutCost(x), g.CutCost(x^mask), 1e-12) {
+			t.Fatalf("Z2 symmetry broken at %b", x)
+		}
+	}
+}
+
+func TestCutIdentityEdgesVsCost(t *testing.T) {
+	// For unit weights: C(x) = |E| - 2*CutEdges(x).
+	rng := rand.New(rand.NewSource(12))
+	g := ErdosRenyi(10, 0.4, rng)
+	for trial := 0; trial < 50; trial++ {
+		x := bitstr.Bits(rng.Intn(1 << 10))
+		want := float64(len(g.Edges) - 2*g.CutEdges(x))
+		if !almostEq(g.CutCost(x), want, 1e-12) {
+			t.Fatalf("cost/edges identity broken: %v vs %v", g.CutCost(x), want)
+		}
+	}
+}
+
+func TestBruteForceRing(t *testing.T) {
+	// Even ring is bipartite: max cut cuts all n edges, cost = -n.
+	g := Ring(6)
+	opt := g.BruteForce()
+	if !almostEq(opt.Cost, -6, 1e-12) {
+		t.Errorf("ring-6 optimum = %v, want -6", opt.Cost)
+	}
+	// The two alternating colorings achieve it.
+	if len(opt.Argmins) != 2 {
+		t.Errorf("ring-6 argmins = %d, want 2", len(opt.Argmins))
+	}
+	for _, x := range opt.Argmins {
+		if g.CutEdges(x) != 6 {
+			t.Errorf("argmin %b does not cut all edges", x)
+		}
+	}
+}
+
+func TestBruteForceOddRing(t *testing.T) {
+	// Odd ring is not bipartite: best cut leaves one edge uncut, cost = -(n-2).
+	g := Ring(5)
+	opt := g.BruteForce()
+	if !almostEq(opt.Cost, -3, 1e-12) {
+		t.Errorf("ring-5 optimum = %v, want -3", opt.Cost)
+	}
+	// Z2 symmetry: argmins come in complement pairs.
+	if len(opt.Argmins)%2 != 0 {
+		t.Errorf("argmins not in pairs: %d", len(opt.Argmins))
+	}
+}
+
+func TestMaxCost(t *testing.T) {
+	g := Ring(6)
+	if !almostEq(g.MaxCost(), 6, 1e-12) {
+		t.Errorf("ring-6 max = %v", g.MaxCost())
+	}
+}
+
+func TestErdosRenyiDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	n, p := 40, 0.3
+	total := 0
+	trials := 30
+	for i := 0; i < trials; i++ {
+		g := ErdosRenyi(n, p, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += len(g.Edges)
+	}
+	mean := float64(total) / float64(trials)
+	want := p * float64(n*(n-1)/2)
+	if mean < want*0.9 || mean > want*1.1 {
+		t.Errorf("edge density %v, want about %v", mean, want)
+	}
+	if len(ErdosRenyi(5, 0, rng).Edges) != 0 {
+		t.Error("p=0 produced edges")
+	}
+	if len(ErdosRenyi(5, 1, rng).Edges) != 10 {
+		t.Error("p=1 missing edges")
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, tc := range []struct{ n, d int }{{6, 3}, {8, 3}, {10, 3}, {12, 4}, {16, 3}} {
+		g := RandomRegular(tc.n, tc.d, rng)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for v, deg := range g.Degrees() {
+			if deg != tc.d {
+				t.Fatalf("n=%d d=%d: vertex %d has degree %d", tc.n, tc.d, v, deg)
+			}
+		}
+		if len(g.Edges) != tc.n*tc.d/2 {
+			t.Fatalf("edge count %d", len(g.Edges))
+		}
+	}
+}
+
+func TestRandomRegularRejectsOddProduct(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for odd n*d")
+		}
+	}()
+	RandomRegular(5, 3, rand.New(rand.NewSource(1)))
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(2, 3)
+	if g.N != 6 {
+		t.Fatalf("grid vertices = %d", g.N)
+	}
+	// 2x3 grid: horizontal 2*2=4, vertical 3*1=3 => 7 edges.
+	if len(g.Edges) != 7 {
+		t.Errorf("grid edges = %d, want 7", len(g.Edges))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Grid is bipartite: optimum cuts every edge.
+	opt := g.BruteForce()
+	if !almostEq(opt.Cost, -7, 1e-12) {
+		t.Errorf("grid optimum = %v, want -7", opt.Cost)
+	}
+}
+
+func TestGridFor(t *testing.T) {
+	for _, n := range []int{6, 8, 9, 12, 16, 20} {
+		g := GridFor(n)
+		if g.N != n {
+			t.Errorf("GridFor(%d) has %d vertices", n, g.N)
+		}
+	}
+	// Prime size degenerates to a path (1 x n).
+	g := GridFor(7)
+	if g.N != 7 || len(g.Edges) != 6 {
+		t.Errorf("GridFor(7): N=%d E=%d", g.N, len(g.Edges))
+	}
+}
+
+func TestSK(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	g := SK(8, rng)
+	if len(g.Edges) != 28 {
+		t.Fatalf("SK edges = %d", len(g.Edges))
+	}
+	plus, minus := 0, 0
+	for _, e := range g.Edges {
+		switch e.W {
+		case 1:
+			plus++
+		case -1:
+			minus++
+		default:
+			t.Fatalf("SK weight %v", e.W)
+		}
+	}
+	if plus == 0 || minus == 0 {
+		t.Errorf("SK signs unbalanced: +%d -%d", plus, minus)
+	}
+}
+
+func TestValidateCatchesBadGraphs(t *testing.T) {
+	bad := []*Graph{
+		{N: 0},
+		{N: 2, Edges: []Edge{{0, 2, 1}}},
+		{N: 2, Edges: []Edge{{1, 1, 1}}},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"ER bad p":        func() { ErdosRenyi(4, 1.5, rng) },
+		"ring too small":  func() { Ring(2) },
+		"grid degenerate": func() { Grid(1, 1) },
+		"SK too small":    func() { SK(1, rng) },
+		"brute too big":   func() { (&Graph{N: 25}).BruteForce() },
+		"regular d>=n":    func() { RandomRegular(4, 4, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

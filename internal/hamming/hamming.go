@@ -1,0 +1,179 @@
+// Package hamming implements the Hamming-space analysis machinery of the
+// HAMMER paper (§3): the Hamming spectrum of an output distribution, the
+// Expected Hamming Distance (EHD), and the Cumulative Hamming Strength (CHS)
+// vectors used by the reconstruction algorithm.
+package hamming
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// Spectrum is the paper's Hamming spectrum (Fig. 3a): bin k holds the total
+// probability of all outcomes whose minimum Hamming distance to the correct
+// answer set is exactly k. Bins run from 0 to n inclusive.
+type Spectrum struct {
+	NumBits int
+	Bins    []float64 // length NumBits+1
+	Counts  []int     // unique outcomes per bin
+}
+
+// NewSpectrum buckets every outcome of d by its minimum Hamming distance to
+// the set of correct outcomes. The correct set must be non-empty.
+func NewSpectrum(d *dist.Dist, correct []bitstr.Bits) *Spectrum {
+	n := d.NumBits()
+	s := &Spectrum{
+		NumBits: n,
+		Bins:    make([]float64, n+1),
+		Counts:  make([]int, n+1),
+	}
+	d.Range(func(x bitstr.Bits, p float64) {
+		k := bitstr.MinDistance(x, correct)
+		s.Bins[k] += p
+		s.Counts[k]++
+	})
+	return s
+}
+
+// BinAverage returns the average probability of a unique outcome in bin k
+// (the "Average Probability of Hamming Bin" trace in Fig. 3b/3c). Bins with
+// no observed outcomes report zero.
+func (s *Spectrum) BinAverage(k int) float64 {
+	if k < 0 || k >= len(s.Bins) || s.Counts[k] == 0 {
+		return 0
+	}
+	return s.Bins[k] / float64(s.Counts[k])
+}
+
+// UniformBinMass returns the probability mass a uniform-error model places in
+// bin k: C(n,k) / 2^n. This is the dotted reference line in the paper's
+// spectrum plots.
+func UniformBinMass(n, k int) float64 {
+	return float64(bitstr.CountAtDistance(n, k)) / float64(uint64(1)<<uint(n))
+}
+
+// EHD computes the Expected Hamming Distance (§3.3): the probability-weighted
+// average of the minimum Hamming distance from each outcome to the correct
+// set. EHD is 0 for a noise-free distribution and approaches n/2 for a
+// uniform distribution.
+func EHD(d *dist.Dist, correct []bitstr.Bits) float64 {
+	var e float64
+	d.Range(func(x bitstr.Bits, p float64) {
+		e += p * float64(bitstr.MinDistance(x, correct))
+	})
+	return e
+}
+
+// UniformEHD returns the exact EHD of the uniform distribution over an n-bit
+// space relative to a single correct outcome: sum_k k*C(n,k)/2^n = n/2.
+func UniformEHD(n int) float64 {
+	return float64(n) / 2
+}
+
+// CHS computes the Cumulative Hamming Strength vector (§4.3) of outcome x
+// against distribution d: entry k holds the total probability of outcomes at
+// Hamming distance exactly k from x, for k in [0, maxD]. The paper limits
+// maxD to n/2; callers pass the radius they want.
+func CHS(d *dist.Dist, x bitstr.Bits, maxD int) []float64 {
+	if maxD < 0 {
+		panic(fmt.Sprintf("hamming: negative CHS radius %d", maxD))
+	}
+	v := make([]float64, maxD+1)
+	d.Range(func(y bitstr.Bits, p float64) {
+		if k := bitstr.Distance(x, y); k <= maxD {
+			v[k] += p
+		}
+	})
+	return v
+}
+
+// AverageCHS computes the probability-weighted average CHS across every
+// outcome in the distribution; this is the "average of all outcomes" curve
+// in Fig. 7b and the basis for HAMMER's per-distance weights. It runs in
+// O(N^2) over the N unique outcomes.
+func AverageCHS(d *dist.Dist, maxD int) []float64 {
+	avg := make([]float64, maxD+1)
+	d.Range(func(x bitstr.Bits, px float64) {
+		chs := CHS(d, x, maxD)
+		for k, v := range chs {
+			avg[k] += px * v
+		}
+	})
+	return avg
+}
+
+// GlobalCHS computes the unweighted pairwise accumulation used verbatim in
+// Algorithm 1 of the paper's appendix: CHS[k] = sum over ordered pairs (x,y)
+// with Hamming distance k < len of P(y). It differs from AverageCHS by not
+// weighting the outer outcome by its probability.
+func GlobalCHS(d *dist.Dist, maxD int) []float64 {
+	g := make([]float64, maxD+1)
+	d.Range(func(x bitstr.Bits, _ float64) {
+		d.Range(func(y bitstr.Bits, py float64) {
+			if k := bitstr.Distance(x, y); k <= maxD {
+				g[k] += py
+			}
+		})
+	})
+	return g
+}
+
+// Edge is a Hamming-graph edge between two observed outcomes (Fig. 6).
+type Edge struct {
+	X, Y bitstr.Bits
+	D    int
+}
+
+// Graph lists the Hamming-graph edges between all pairs of observed outcomes
+// with distance at most maxD, the representation of Fig. 6(b-c). Outcomes are
+// visited in deterministic ascending order and each unordered pair appears
+// once with X < Y.
+func Graph(d *dist.Dist, maxD int) []Edge {
+	outs := d.Outcomes()
+	var edges []Edge
+	for i, x := range outs {
+		for _, y := range outs[i+1:] {
+			if k := bitstr.Distance(x, y); k <= maxD {
+				edges = append(edges, Edge{X: x, Y: y, D: k})
+			}
+		}
+	}
+	return edges
+}
+
+// MarginalFlipRates estimates, for each bit position, the probability that
+// the bit is flipped relative to the (nearest) correct outcome. This is the
+// per-qubit error diagnostic used to spot systematically miscalibrated
+// qubits: under independent local noise each rate approximates the qubit's
+// effective flip probability, while a single rate near or above 1/2 flags a
+// bad qubit.
+func MarginalFlipRates(d *dist.Dist, correct []bitstr.Bits) []float64 {
+	n := d.NumBits()
+	rates := make([]float64, n)
+	var total float64
+	d.Range(func(x bitstr.Bits, p float64) {
+		// Attribute the flip pattern relative to the nearest correct outcome.
+		best := correct[0]
+		bestD := bitstr.Distance(x, best)
+		for _, c := range correct[1:] {
+			if k := bitstr.Distance(x, c); k < bestD {
+				best, bestD = c, k
+			}
+		}
+		diff := x ^ best
+		for q := 0; q < n; q++ {
+			if diff>>uint(q)&1 == 1 {
+				rates[q] += p
+			}
+		}
+		total += p
+	})
+	if total > 0 {
+		for q := range rates {
+			rates[q] /= total
+		}
+	}
+	return rates
+}

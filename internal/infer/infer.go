@@ -1,0 +1,122 @@
+// Package infer implements solution-inference policies over measured output
+// distributions. The paper frames application fidelity as "the ability to
+// identify the correct answer from the outcomes produced during all the
+// trials" (§1): IST > 1 means the plain argmax read-off succeeds. This
+// package makes the read-off policies explicit so the experiments can report
+// end-to-end inference success, not only probability-mass metrics.
+package infer
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// ArgMax infers the single most frequent outcome — the default NISQ
+// inference rule (deterministic tie-break toward the smaller outcome).
+func ArgMax(d *dist.Dist) bitstr.Bits {
+	return d.MostProbable()
+}
+
+// TopK returns the k most frequent outcomes as a candidate set.
+func TopK(d *dist.Dist, k int) []bitstr.Bits {
+	if k < 1 {
+		panic(fmt.Sprintf("infer: k = %d < 1", k))
+	}
+	es := d.TopK(k)
+	out := make([]bitstr.Bits, len(es))
+	for i, e := range es {
+		out[i] = e.X
+	}
+	return out
+}
+
+// Verifier scores a candidate solution; lower is better. For Maxcut this is
+// the cut cost — candidates from a quantum device can always be verified
+// classically in polynomial time.
+type Verifier func(bitstr.Bits) float64
+
+// BestVerified inspects the k most frequent outcomes and returns the one
+// with the lowest verifier score: the standard hybrid read-out for
+// optimization workloads, where sampling needs to surface a good solution
+// only once.
+func BestVerified(d *dist.Dist, k int, score Verifier) bitstr.Bits {
+	cands := TopK(d, k)
+	best := cands[0]
+	bestScore := score(best)
+	for _, c := range cands[1:] {
+		if s := score(c); s < bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// Success reports whether an inferred outcome is in the correct set.
+func Success(inferred bitstr.Bits, correct []bitstr.Bits) bool {
+	for _, c := range correct {
+		if inferred == c {
+			return true
+		}
+	}
+	return false
+}
+
+// MajorityVote infers each output bit independently by its marginal
+// majority. For distributions dominated by local errors around a single
+// correct outcome this can out-vote moderate noise; it fails structurally
+// for multimodal outputs (e.g. GHZ).
+func MajorityVote(d *dist.Dist) bitstr.Bits {
+	n := d.NumBits()
+	ones := make([]float64, n)
+	var total float64
+	d.Range(func(x bitstr.Bits, p float64) {
+		for q := 0; q < n; q++ {
+			if bitstr.Bit(x, q) == 1 {
+				ones[q] += p
+			}
+		}
+		total += p
+	})
+	var out bitstr.Bits
+	for q := 0; q < n; q++ {
+		if ones[q] > total/2 {
+			out |= 1 << uint(q)
+		}
+	}
+	return out
+}
+
+// RankOf returns the 1-based rank of the best-ranked correct outcome in the
+// frequency ordering (1 = argmax succeeds). This generalizes IST into an
+// inference-depth metric: a rank of r means a top-r candidate list contains
+// the answer.
+func RankOf(d *dist.Dist, correct []bitstr.Bits) int {
+	if len(correct) == 0 {
+		panic("infer: empty correct set")
+	}
+	isCorrect := make(map[bitstr.Bits]bool, len(correct))
+	for _, c := range correct {
+		isCorrect[c] = true
+	}
+	es := d.TopK(d.Len())
+	for i, e := range es {
+		if isCorrect[e.X] {
+			return i + 1
+		}
+	}
+	// No correct outcome observed at all: rank beyond the support.
+	return d.Len() + 1
+}
+
+// SuccessAtK returns, for each k in ks, whether a top-k candidate list
+// contains a correct outcome.
+func SuccessAtK(d *dist.Dist, correct []bitstr.Bits, ks []int) []bool {
+	rank := RankOf(d, correct)
+	out := make([]bool, len(ks))
+	for i, k := range ks {
+		out[i] = rank <= k
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package metrics implements the paper's figures of merit: Probability of
+// Successful Trial (PST, Eq. 3), Inference Strength (IST, Eq. 4), the Cost
+// Ratio wrapper, and improvement aggregation (geometric means, as used for
+// the headline 1.38x / 1.74x numbers of Fig. 8).
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// PST is the probability of a successful trial: total probability of the
+// correct outcome set (Eq. 3).
+func PST(d *dist.Dist, correct []bitstr.Bits) float64 {
+	if len(correct) == 0 {
+		panic("metrics: PST with empty correct set")
+	}
+	var p float64
+	seen := make(map[bitstr.Bits]bool, len(correct))
+	for _, c := range correct {
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		p += d.Prob(c)
+	}
+	return p
+}
+
+// IST is the Inference Strength (Eq. 4): the probability of the (best)
+// correct outcome divided by the probability of the most frequent incorrect
+// outcome. IST > 1 means the program's answer can be read off the histogram.
+// If no incorrect outcome was observed, IST is +Inf conceptually; we return
+// the ratio against a zero floor guarded by the caller, so this function
+// panics instead — a distribution with no errors needs no inference metric.
+func IST(d *dist.Dist, correct []bitstr.Bits) float64 {
+	if len(correct) == 0 {
+		panic("metrics: IST with empty correct set")
+	}
+	isCorrect := make(map[bitstr.Bits]bool, len(correct))
+	for _, c := range correct {
+		isCorrect[c] = true
+	}
+	var bestCorrect, bestIncorrect float64
+	d.Range(func(x bitstr.Bits, p float64) {
+		if isCorrect[x] {
+			if p > bestCorrect {
+				bestCorrect = p
+			}
+		} else if p > bestIncorrect {
+			bestIncorrect = p
+		}
+	})
+	if bestIncorrect == 0 {
+		panic("metrics: IST undefined — no incorrect outcomes observed")
+	}
+	return bestCorrect / bestIncorrect
+}
+
+// Improvement pairs a baseline and treated value of a higher-is-better
+// metric.
+type Improvement struct {
+	Base, Treated float64
+}
+
+// Ratio returns Treated/Base; base must be positive.
+func (im Improvement) Ratio() float64 {
+	if im.Base <= 0 {
+		panic(fmt.Sprintf("metrics: improvement over non-positive base %v", im.Base))
+	}
+	return im.Treated / im.Base
+}
+
+// GeoMeanRatio aggregates improvement ratios across a benchmark suite the
+// way the paper reports them.
+func GeoMeanRatio(ims []Improvement) float64 {
+	rs := make([]float64, len(ims))
+	for i, im := range ims {
+		rs[i] = im.Ratio()
+	}
+	return stats.GeoMean(rs)
+}
+
+// MaxRatio returns the best per-instance improvement ("up to 5x").
+func MaxRatio(ims []Improvement) float64 {
+	if len(ims) == 0 {
+		panic("metrics: MaxRatio over empty set")
+	}
+	best := ims[0].Ratio()
+	for _, im := range ims[1:] {
+		if r := im.Ratio(); r > best {
+			best = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func sample() *dist.Dist {
+	d := dist.New(3)
+	d.Set(bitstr.MustParse("111"), 0.30)
+	d.Set(bitstr.MustParse("101"), 0.40)
+	d.Set(bitstr.MustParse("011"), 0.20)
+	d.Set(bitstr.MustParse("000"), 0.10)
+	return d
+}
+
+func TestPSTSingleCorrect(t *testing.T) {
+	d := sample()
+	if got := PST(d, []bitstr.Bits{bitstr.MustParse("111")}); !almostEq(got, 0.30, 1e-12) {
+		t.Errorf("PST = %v", got)
+	}
+}
+
+func TestPSTMultipleCorrect(t *testing.T) {
+	d := sample()
+	correct := []bitstr.Bits{bitstr.MustParse("111"), bitstr.MustParse("000")}
+	if got := PST(d, correct); !almostEq(got, 0.40, 1e-12) {
+		t.Errorf("PST multi = %v", got)
+	}
+	// Duplicates in the correct set must not double count.
+	dup := []bitstr.Bits{bitstr.MustParse("111"), bitstr.MustParse("111")}
+	if got := PST(d, dup); !almostEq(got, 0.30, 1e-12) {
+		t.Errorf("PST dup = %v", got)
+	}
+}
+
+func TestIST(t *testing.T) {
+	d := sample()
+	// Correct 111 (0.30); top incorrect 101 (0.40): IST = 0.75.
+	if got := IST(d, []bitstr.Bits{bitstr.MustParse("111")}); !almostEq(got, 0.75, 1e-12) {
+		t.Errorf("IST = %v", got)
+	}
+	// With both 111 and 101 correct, best correct 0.4, top incorrect 011 (0.2): 2.0.
+	correct := []bitstr.Bits{bitstr.MustParse("111"), bitstr.MustParse("101")}
+	if got := IST(d, correct); !almostEq(got, 2.0, 1e-12) {
+		t.Errorf("IST multi = %v", got)
+	}
+}
+
+func TestISTExceedingOneMeansInferable(t *testing.T) {
+	d := dist.New(2)
+	d.Set(0b11, 0.6)
+	d.Set(0b00, 0.4)
+	if got := IST(d, []bitstr.Bits{0b11}); got <= 1 {
+		t.Errorf("IST = %v, want > 1", got)
+	}
+}
+
+func TestImprovementAggregation(t *testing.T) {
+	ims := []Improvement{
+		{Base: 0.10, Treated: 0.20}, // 2x
+		{Base: 0.20, Treated: 0.10}, // 0.5x
+		{Base: 0.30, Treated: 0.30}, // 1x
+	}
+	if got := GeoMeanRatio(ims); !almostEq(got, 1, 1e-12) {
+		t.Errorf("gmean = %v", got)
+	}
+	if got := MaxRatio(ims); !almostEq(got, 2, 1e-12) {
+		t.Errorf("max = %v", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	d := sample()
+	noErrors := dist.New(2)
+	noErrors.Set(0b11, 1)
+	for name, fn := range map[string]func(){
+		"PST empty correct": func() { PST(d, nil) },
+		"IST empty correct": func() { IST(d, nil) },
+		"IST no incorrect":  func() { IST(noErrors, []bitstr.Bits{0b11}) },
+		"ratio zero base":   func() { (Improvement{Base: 0, Treated: 1}).Ratio() },
+		"max empty":         func() { MaxRatio(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,47 @@
+package noise
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func BenchmarkBitFlipChannel(b *testing.B) {
+	for _, n := range []int{12, 16, 20} {
+		v := dist.NewVector(n)
+		v.Set(0, 1)
+		rates := make([]float64, n)
+		for q := range rates {
+			rates[q] = 0.02
+		}
+		ch := &BitFlip{P: rates}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch.Apply(v)
+			}
+		})
+	}
+}
+
+func BenchmarkDeviceChannel(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		c := ghz(n)
+		dev := IBMParisLike()
+		b.Run(fmt.Sprintf("ghz-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ExecuteDist(c, dev, int64(i))
+			}
+		})
+	}
+}
+
+func BenchmarkTrajectorySampling(b *testing.B) {
+	c := ghz(6)
+	m := PauliModelOf(IBMParisLike())
+	rng := newRand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleTrajectories(c, m, rng, 50, 20)
+	}
+}

@@ -1,0 +1,315 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/hamming"
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func pointMass(n int, x bitstr.Bits) *dist.Vector {
+	v := dist.NewVector(n)
+	v.Set(x, 1)
+	return v
+}
+
+func TestBitFlipSingleQubit(t *testing.T) {
+	v := pointMass(1, 0)
+	(&BitFlip{P: []float64{0.2}}).Apply(v)
+	if !almostEq(v.At(0), 0.8, 1e-12) || !almostEq(v.At(1), 0.2, 1e-12) {
+		t.Errorf("flip = %v", v.Raw())
+	}
+}
+
+func TestBitFlipProductStructure(t *testing.T) {
+	// Independent flips: P(outcome at distance k from ideal) factorizes.
+	n := 4
+	p := 0.1
+	v := pointMass(n, 0b1111)
+	rates := []float64{p, p, p, p}
+	(&BitFlip{P: rates}).Apply(v)
+	for x := bitstr.Bits(0); x < 1<<uint(n); x++ {
+		k := bitstr.Distance(x, 0b1111)
+		want := math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+		if !almostEq(v.At(x), want, 1e-12) {
+			t.Fatalf("P(%04b) = %v, want %v", x, v.At(x), want)
+		}
+	}
+}
+
+func TestBitFlipPreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := dist.NewVector(6)
+	for i := 0; i < v.Len(); i++ {
+		v.Set(bitstr.Bits(i), rng.Float64())
+	}
+	v.Normalize()
+	(&BitFlip{P: []float64{0.1, 0.2, 0, 0.4, 0.05, 0.5}}).Apply(v)
+	if !almostEq(v.Total(), 1, 1e-9) {
+		t.Errorf("mass after flip = %v", v.Total())
+	}
+}
+
+func TestBitFlipCreatesHammingClusters(t *testing.T) {
+	// The paper's core observation must fall out of the channel: after
+	// local flips the probability of a Hamming bin decreases with distance.
+	n := 8
+	ideal := bitstr.AllOnes(n)
+	v := pointMass(n, ideal)
+	rates := make([]float64, n)
+	for q := range rates {
+		rates[q] = 0.06
+	}
+	(&BitFlip{P: rates}).Apply(v)
+	s := hamming.NewSpectrum(v.Sparse(0), []bitstr.Bits{ideal})
+	for k := 1; k <= n; k++ {
+		if s.BinAverage(k) >= s.BinAverage(k-1) {
+			t.Errorf("bin average not decreasing at k=%d: %v vs %v",
+				k, s.BinAverage(k), s.BinAverage(k-1))
+		}
+	}
+}
+
+func TestReadoutAsymmetry(t *testing.T) {
+	// All-ones state with heavy 1->0 readout error shifts mass down.
+	n := 3
+	v := pointMass(n, 0b111)
+	(&Readout{P01: []float64{0, 0, 0}, P10: []float64{0.2, 0.2, 0.2}}).Apply(v)
+	if !almostEq(v.At(0b111), 0.8*0.8*0.8, 1e-12) {
+		t.Errorf("P(111) = %v", v.At(0b111))
+	}
+	if !almostEq(v.At(0b011), 0.8*0.8*0.2, 1e-12) {
+		t.Errorf("P(011) = %v", v.At(0b011))
+	}
+	if !almostEq(v.Total(), 1, 1e-12) {
+		t.Errorf("mass = %v", v.Total())
+	}
+}
+
+func TestDepolarize(t *testing.T) {
+	v := pointMass(3, 0)
+	(&Depolarize{Lambda: 0.4}).Apply(v)
+	if !almostEq(v.At(0), 0.6+0.4/8, 1e-12) {
+		t.Errorf("P(0) = %v", v.At(0))
+	}
+	if !almostEq(v.At(5), 0.4/8, 1e-12) {
+		t.Errorf("P(5) = %v", v.At(5))
+	}
+	if !almostEq(v.Total(), 1, 1e-12) {
+		t.Errorf("mass = %v", v.Total())
+	}
+}
+
+func TestCorrelatedEvent(t *testing.T) {
+	v := pointMass(4, 0b0000)
+	(&CorrelatedEvent{Mask: 0b0110, P: 0.25}).Apply(v)
+	if !almostEq(v.At(0b0000), 0.75, 1e-12) || !almostEq(v.At(0b0110), 0.25, 1e-12) {
+		t.Errorf("correlated = %v", v.Raw())
+	}
+	// Applying twice with p=0.5 mixes the orbit completely.
+	v2 := pointMass(4, 0b0000)
+	ce := &CorrelatedEvent{Mask: 0b0110, P: 0.5}
+	ce.Apply(v2)
+	if !almostEq(v2.At(0b0000), 0.5, 1e-12) || !almostEq(v2.At(0b0110), 0.5, 1e-12) {
+		t.Errorf("correlated p=0.5 = %v", v2.Raw())
+	}
+}
+
+func TestComposePreservesMassAndOrder(t *testing.T) {
+	v := pointMass(3, 0b111)
+	ch := Compose{
+		&BitFlip{P: []float64{0.05, 0.05, 0.05}},
+		&CorrelatedEvent{Mask: 0b011, P: 0.1},
+		&Depolarize{Lambda: 0.1},
+		&Readout{P01: []float64{0.01, 0.01, 0.01}, P10: []float64{0.03, 0.03, 0.03}},
+	}
+	ch.Apply(v)
+	if !almostEq(v.Total(), 1, 1e-9) {
+		t.Errorf("mass = %v", v.Total())
+	}
+	if v.At(0b111) < 0.5 {
+		t.Errorf("light noise destroyed the ideal outcome: %v", v.At(0b111))
+	}
+	if ch.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestChannelPanics(t *testing.T) {
+	v := pointMass(2, 0)
+	for name, fn := range map[string]func(){
+		"bitflip width":    func() { (&BitFlip{P: []float64{0.1}}).Apply(v) },
+		"bitflip range":    func() { (&BitFlip{P: []float64{0.1, 1.5}}).Apply(v) },
+		"readout width":    func() { (&Readout{P01: []float64{0}, P10: []float64{0, 0}}).Apply(v) },
+		"depol range":      func() { (&Depolarize{Lambda: -0.1}).Apply(v) },
+		"correlated range": func() { (&CorrelatedEvent{Mask: 1, P: 2}).Apply(v) },
+		"correlated mask":  func() { (&CorrelatedEvent{Mask: 0b100, P: 0.1}).Apply(v) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func ghz(n int) *quantum.Circuit {
+	c := quantum.NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	return c
+}
+
+func TestDeviceChannelDeterministicBySeed(t *testing.T) {
+	c := ghz(6)
+	dev := IBMParisLike()
+	a := ExecuteDist(c, dev, 7)
+	b := ExecuteDist(c, dev, 7)
+	if dist.TVD(a, b) != 0 {
+		t.Error("same seed produced different distributions")
+	}
+}
+
+func TestDevicePresetsValid(t *testing.T) {
+	for _, dev := range append(Devices(), SycamoreLike()) {
+		if err := dev.Validate(); err != nil {
+			t.Errorf("%s: %v", dev.Name, err)
+		}
+	}
+	bad := IBMParisLike()
+	bad.Eps2 = 1.5
+	if bad.Validate() == nil {
+		t.Error("expected validation failure")
+	}
+	bad2 := IBMParisLike()
+	bad2.CorrelatedEvents = -1
+	if bad2.Validate() == nil {
+		t.Error("expected validation failure for negative events")
+	}
+}
+
+func TestDevicesDiffer(t *testing.T) {
+	c := ghz(8)
+	devs := Devices()
+	d0 := ExecuteDist(c, devs[0], 3)
+	d1 := ExecuteDist(c, devs[1], 3)
+	if dist.TVD(d0, d1) < 1e-4 {
+		t.Error("distinct device presets produced identical output")
+	}
+}
+
+func TestGHZNoisyOutputShape(t *testing.T) {
+	// GHZ-8 through an IBM-like device: correct outcomes (all-zero and
+	// all-one) should retain the largest probabilities and a nontrivial
+	// fraction of mass should be erroneous — the §3.1 observation
+	// (45% correct / 55% incorrect for GHZ-10 on IBM hardware).
+	n := 8
+	noisy := ExecuteDist(ghz(n), IBMManhattanLike(), 11)
+	correct := []bitstr.Bits{0, bitstr.AllOnes(n)}
+	pCorrect := noisy.Prob(correct[0]) + noisy.Prob(correct[1])
+	if pCorrect < 0.05 || pCorrect > 0.95 {
+		t.Errorf("correct mass = %v, want a noisy-but-usable range", pCorrect)
+	}
+	// Hamming structure: EHD well below uniform n/2.
+	ehd := hamming.EHD(noisy, correct)
+	if ehd >= hamming.UniformEHD(n)*0.75 {
+		t.Errorf("EHD %v shows no Hamming structure (uniform would be %v)",
+			ehd, hamming.UniformEHD(n))
+	}
+	if ehd <= 0 {
+		t.Error("EHD zero under noise")
+	}
+}
+
+func TestEHDGrowsWithCircuitSize(t *testing.T) {
+	// Fig. 12 trend: EHD increases with qubit count but stays below n/2.
+	dev := IBMParisLike()
+	prev := 0.0
+	for _, n := range []int{4, 8, 12} {
+		noisy := ExecuteDist(ghz(n), dev, 5)
+		ehd := hamming.EHD(noisy, []bitstr.Bits{0, bitstr.AllOnes(n)})
+		if ehd <= prev {
+			t.Errorf("EHD not increasing at n=%d: %v <= %v", n, ehd, prev)
+		}
+		if ehd >= hamming.UniformEHD(n) {
+			t.Errorf("EHD %v above uniform at n=%d", ehd, n)
+		}
+		prev = ehd
+	}
+}
+
+func TestExecuteShots(t *testing.T) {
+	counts := Execute(ghz(5), IBMParisLike(), 9, 4096)
+	if counts.Total() != 4096 {
+		t.Fatalf("total = %d", counts.Total())
+	}
+	if counts.NumBits() != 5 {
+		t.Fatalf("width = %d", counts.NumBits())
+	}
+}
+
+func TestTrajectoryAgreesWithChannelOnEHD(t *testing.T) {
+	// Cross-validation of the two noise representations on GHZ-5: both
+	// must show Hamming clustering (EHD far below uniform), and their
+	// correct-outcome masses should be in the same ballpark.
+	n := 5
+	c := ghz(n)
+	dev := IBMParisLike()
+	chDist := ExecuteDist(c, dev, 3)
+	rng := rand.New(rand.NewSource(3))
+	trajCounts := SampleTrajectories(c, PauliModelOf(dev), rng, 200, 50)
+	trajDist := trajCounts.Dist()
+	correct := []bitstr.Bits{0, bitstr.AllOnes(n)}
+	ehdCh := hamming.EHD(chDist, correct)
+	ehdTr := hamming.EHD(trajDist, correct)
+	if ehdTr >= hamming.UniformEHD(n)*0.6 {
+		t.Errorf("trajectory EHD %v lacks Hamming structure", ehdTr)
+	}
+	if ehdCh >= hamming.UniformEHD(n)*0.6 {
+		t.Errorf("channel EHD %v lacks Hamming structure", ehdCh)
+	}
+	pCh := chDist.Prob(0) + chDist.Prob(bitstr.AllOnes(n))
+	pTr := trajDist.Prob(0) + trajDist.Prob(bitstr.AllOnes(n))
+	if math.Abs(pCh-pTr) > 0.35 {
+		t.Errorf("correct-outcome mass differs wildly: channel %v vs trajectory %v", pCh, pTr)
+	}
+}
+
+func TestTrajectoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SampleTrajectories(ghz(3), PauliModel{}, rand.New(rand.NewSource(1)), 0, 10)
+}
+
+func TestReadoutConfusionMatrices(t *testing.T) {
+	r := &Readout{P01: []float64{0.1, 0.2}, P10: []float64{0.3, 0.4}}
+	ms := r.ConfusionMatrices()
+	if len(ms) != 2 {
+		t.Fatalf("len = %d", len(ms))
+	}
+	if !almostEq(ms[0][0][0], 0.9, 1e-12) || !almostEq(ms[0][1][0], 0.1, 1e-12) ||
+		!almostEq(ms[1][0][1], 0.4, 1e-12) || !almostEq(ms[1][1][1], 0.6, 1e-12) {
+		t.Errorf("confusion matrices = %v", ms)
+	}
+	// Columns sum to 1.
+	for q, m := range ms {
+		if !almostEq(m[0][0]+m[1][0], 1, 1e-12) || !almostEq(m[0][1]+m[1][1], 1, 1e-12) {
+			t.Errorf("qubit %d columns not stochastic: %v", q, m)
+		}
+	}
+}
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,86 @@
+package noise
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/quantum"
+)
+
+// PauliModel is the gate-level stochastic Pauli error model used by the
+// trajectory sampler: after each gate, each touched qubit suffers a
+// uniformly random Pauli (X, Y, or Z) with the per-gate probability; each
+// measured bit then flips according to the readout rates.
+type PauliModel struct {
+	Eps1, Eps2             float64
+	ReadoutP01, ReadoutP10 float64
+}
+
+// PauliModelOf extracts the gate-level parameters from a DeviceModel so the
+// two noise representations can be cross-validated.
+func PauliModelOf(d *DeviceModel) PauliModel {
+	return PauliModel{
+		Eps1: d.Eps1, Eps2: d.Eps2,
+		ReadoutP01: d.ReadoutP01, ReadoutP10: d.ReadoutP10,
+	}
+}
+
+// SampleTrajectories runs the circuit `trajectories` times with stochastic
+// Pauli insertions, draws shotsPerTrajectory measurement outcomes from each
+// noisy final state, applies per-shot readout flips, and accumulates counts.
+// This is the high-fidelity (and expensive) reference for the
+// distribution-level channels; keep circuits small.
+func SampleTrajectories(c *quantum.Circuit, m PauliModel, rng *rand.Rand,
+	trajectories, shotsPerTrajectory int) *dist.Counts {
+	if trajectories <= 0 || shotsPerTrajectory <= 0 {
+		panic(fmt.Sprintf("noise: need positive trajectories (%d) and shots (%d)",
+			trajectories, shotsPerTrajectory))
+	}
+	n := c.NumQubits()
+	gates := c.Gates()
+	counts := dist.NewCounts(n)
+	paulis := []byte{'X', 'Y', 'Z'}
+	for tr := 0; tr < trajectories; tr++ {
+		s := quantum.NewState(n)
+		for _, g := range gates {
+			s.ApplyGate(g)
+			eps := m.Eps1
+			if g.IsTwoQubit() {
+				eps = m.Eps2
+			}
+			if eps == 0 {
+				continue
+			}
+			for _, q := range g.Qubits {
+				if rng.Float64() < eps {
+					s.ApplyPauli(paulis[rng.Intn(3)], q)
+				}
+			}
+		}
+		shots := s.Probabilities().Sparse(1e-15).Sample(rng, shotsPerTrajectory)
+		shots.Range(func(x bitstr.Bits, k int) {
+			for i := 0; i < k; i++ {
+				counts.AddN(applyReadoutFlips(x, n, m, rng), 1)
+			}
+		})
+	}
+	return counts
+}
+
+func applyReadoutFlips(x bitstr.Bits, n int, m PauliModel, rng *rand.Rand) bitstr.Bits {
+	if m.ReadoutP01 == 0 && m.ReadoutP10 == 0 {
+		return x
+	}
+	for q := 0; q < n; q++ {
+		if bitstr.Bit(x, q) == 0 {
+			if m.ReadoutP01 > 0 && rng.Float64() < m.ReadoutP01 {
+				x = bitstr.Flip(x, q)
+			}
+		} else if m.ReadoutP10 > 0 && rng.Float64() < m.ReadoutP10 {
+			x = bitstr.Flip(x, q)
+		}
+	}
+	return x
+}

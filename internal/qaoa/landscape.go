@@ -1,0 +1,92 @@
+package qaoa
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+// Landscape is a p=1 cost-ratio surface over a beta × gamma grid, the object
+// plotted in Figs. 1(c) and 10(b).
+type Landscape struct {
+	Betas  []float64
+	Gammas []float64
+	// CR[i][j] is the cost ratio at (Betas[i], Gammas[j]).
+	CR [][]float64
+}
+
+// Evaluator produces the output distribution for given p=1 parameters; the
+// baseline evaluator runs the noisy simulation, and the HAMMER evaluator
+// post-processes it.
+type Evaluator func(p Params) *dist.Dist
+
+// NewLandscape sweeps a p=1 grid: betas in [-betaMax, betaMax], gammas in
+// [0, gammaMax], each with `steps` points.
+func NewLandscape(g *graph.Graph, cmin float64, betaMax, gammaMax float64,
+	steps int, eval Evaluator) *Landscape {
+	if steps < 2 {
+		panic(fmt.Sprintf("qaoa: landscape needs >= 2 steps, got %d", steps))
+	}
+	l := &Landscape{
+		Betas:  stats.Linspace(-betaMax, betaMax, steps),
+		Gammas: stats.Linspace(0, gammaMax, steps),
+	}
+	l.CR = make([][]float64, steps)
+	for i, b := range l.Betas {
+		l.CR[i] = make([]float64, steps)
+		for j, gm := range l.Gammas {
+			d := eval(Params{Betas: []float64{b}, Gammas: []float64{gm}})
+			l.CR[i][j] = CostRatio(d, g, cmin)
+		}
+	}
+	return l
+}
+
+// Peak returns the best cost ratio on the grid and its coordinates.
+func (l *Landscape) Peak() (cr, beta, gamma float64) {
+	cr = l.CR[0][0]
+	beta, gamma = l.Betas[0], l.Gammas[0]
+	for i := range l.CR {
+		for j := range l.CR[i] {
+			if l.CR[i][j] > cr {
+				cr = l.CR[i][j]
+				beta, gamma = l.Betas[i], l.Gammas[j]
+			}
+		}
+	}
+	return cr, beta, gamma
+}
+
+// GradientSharpness quantifies how pronounced the landscape's features are:
+// the mean absolute difference between neighboring grid cells. The paper's
+// claim (§6.5, Fig. 10b) is that HAMMER "sharpens the gradients"; a larger
+// value means steeper structure for the classical optimizer to follow.
+func (l *Landscape) GradientSharpness() float64 {
+	var sum float64
+	var count int
+	for i := range l.CR {
+		for j := range l.CR[i] {
+			if i+1 < len(l.CR) {
+				sum += abs(l.CR[i+1][j] - l.CR[i][j])
+				count++
+			}
+			if j+1 < len(l.CR[i]) {
+				sum += abs(l.CR[i][j+1] - l.CR[i][j])
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

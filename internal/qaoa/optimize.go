@@ -1,0 +1,54 @@
+package qaoa
+
+import "fmt"
+
+// Objective maps a parameter vector (betas followed by gammas) to a score to
+// be maximized — typically the Cost Ratio of the resulting distribution.
+type Objective func(p Params) float64
+
+// Optimize runs the classical half of the variational loop: coordinate
+// descent with geometric step shrinking, maximizing the objective starting
+// from `start`. It is derivative-free and deterministic, which keeps the
+// experiment drivers reproducible. Returns the best parameters, the best
+// score, and the number of objective evaluations spent.
+func Optimize(start Params, obj Objective, rounds int, step float64) (Params, float64, int) {
+	if err := start.Validate(); err != nil {
+		panic(err)
+	}
+	if rounds < 1 || step <= 0 {
+		panic(fmt.Sprintf("qaoa: bad optimizer config rounds=%d step=%v", rounds, step))
+	}
+	p := start.Layers()
+	cur := make([]float64, 2*p)
+	copy(cur, start.Betas)
+	copy(cur[p:], start.Gammas)
+	toParams := func(v []float64) Params {
+		return Params{Betas: append([]float64(nil), v[:p]...), Gammas: append([]float64(nil), v[p:]...)}
+	}
+	best := obj(toParams(cur))
+	evals := 1
+	s := step
+	for r := 0; r < rounds; r++ {
+		improved := false
+		for i := range cur {
+			for _, dir := range []float64{+1, -1} {
+				cand := append([]float64(nil), cur...)
+				cand[i] += dir * s
+				score := obj(toParams(cand))
+				evals++
+				if score > best {
+					best = score
+					cur = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			s /= 2
+			if s < 1e-4 {
+				break
+			}
+		}
+	}
+	return toParams(cur), best, evals
+}

@@ -1,0 +1,319 @@
+// Package qasm serializes circuits to and from a practical subset of
+// OpenQASM 2.0, so benchmark circuits generated here can be executed on real
+// toolchains (Qiskit et al.) and externally produced circuits can be pushed
+// through this repository's noise models and HAMMER pipeline.
+//
+// Supported statements: the OPENQASM header, include "qelib1.inc", a single
+// qreg (plus optional cregs and measure statements, which are accepted and
+// ignored on parse), and the gates h, x, y, z, s, sdg, t, tdg, rx, ry, rz,
+// cx, cz, swap, rzz. Angle expressions may use pi, unary minus, and a single
+// multiplication or division (e.g. "pi/4", "-0.5*pi", "1.5707").
+package qasm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/quantum"
+)
+
+// Write emits the circuit as OpenQASM 2.0.
+func Write(w io.Writer, c *quantum.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "OPENQASM 2.0;")
+	fmt.Fprintln(bw, `include "qelib1.inc";`)
+	fmt.Fprintf(bw, "qreg q[%d];\n", c.NumQubits())
+	fmt.Fprintf(bw, "creg c[%d];\n", c.NumQubits())
+	for _, g := range c.Gates() {
+		if err := writeGate(bw, g); err != nil {
+			return err
+		}
+	}
+	for q := 0; q < c.NumQubits(); q++ {
+		fmt.Fprintf(bw, "measure q[%d] -> c[%d];\n", q, q)
+	}
+	return bw.Flush()
+}
+
+// Marshal returns the QASM text of a circuit.
+func Marshal(c *quantum.Circuit) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, c); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+func writeGate(w io.Writer, g quantum.Gate) error {
+	switch g.Name {
+	case quantum.GateH, quantum.GateX, quantum.GateY, quantum.GateZ,
+		quantum.GateS, quantum.GateSdg, quantum.GateT, quantum.GateTdg:
+		fmt.Fprintf(w, "%s q[%d];\n", g.Name, g.Qubits[0])
+	case quantum.GateRX, quantum.GateRY, quantum.GateRZ:
+		fmt.Fprintf(w, "%s(%.17g) q[%d];\n", g.Name, g.Params[0], g.Qubits[0])
+	case quantum.GateCX, quantum.GateCZ, quantum.GateSWAP:
+		fmt.Fprintf(w, "%s q[%d],q[%d];\n", g.Name, g.Qubits[0], g.Qubits[1])
+	case quantum.GateRZZ:
+		fmt.Fprintf(w, "rzz(%.17g) q[%d],q[%d];\n", g.Params[0], g.Qubits[0], g.Qubits[1])
+	default:
+		return fmt.Errorf("qasm: cannot serialize gate %q", g.Name)
+	}
+	return nil
+}
+
+// Parse reads an OpenQASM 2.0 program from r.
+func Parse(r io.Reader) (*quantum.Circuit, error) {
+	var c *quantum.Circuit
+	qregName := ""
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	var pending strings.Builder
+	for scanner.Scan() {
+		lineNo++
+		line := stripComment(scanner.Text())
+		pending.WriteString(line)
+		text := pending.String()
+		// Statements end with ';'. Process every complete statement,
+		// keeping any trailing fragment for the next line.
+		for {
+			idx := strings.IndexByte(text, ';')
+			if idx < 0 {
+				break
+			}
+			stmt := strings.TrimSpace(text[:idx])
+			text = text[idx+1:]
+			if stmt == "" {
+				continue
+			}
+			var err error
+			c, qregName, err = applyStatement(c, qregName, stmt)
+			if err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo, err)
+			}
+		}
+		pending.Reset()
+		pending.WriteString(text)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("qasm: %w", err)
+	}
+	if strings.TrimSpace(pending.String()) != "" {
+		return nil, fmt.Errorf("qasm: unterminated statement %q", pending.String())
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declared")
+	}
+	return c, nil
+}
+
+// Unmarshal parses QASM text.
+func Unmarshal(src string) (*quantum.Circuit, error) {
+	return Parse(strings.NewReader(src))
+}
+
+func stripComment(line string) string {
+	if i := strings.Index(line, "//"); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+func applyStatement(c *quantum.Circuit, qregName, stmt string) (*quantum.Circuit, string, error) {
+	lower := strings.ToLower(stmt)
+	switch {
+	case strings.HasPrefix(lower, "openqasm"):
+		return c, qregName, nil
+	case strings.HasPrefix(lower, "include"):
+		return c, qregName, nil
+	case strings.HasPrefix(lower, "creg"):
+		return c, qregName, nil
+	case strings.HasPrefix(lower, "barrier"):
+		return c, qregName, nil
+	case strings.HasPrefix(lower, "measure"):
+		return c, qregName, nil
+	case strings.HasPrefix(lower, "qreg"):
+		if c != nil {
+			return nil, "", fmt.Errorf("multiple qreg declarations")
+		}
+		name, size, err := parseReg(strings.TrimSpace(stmt[len("qreg"):]))
+		if err != nil {
+			return nil, "", err
+		}
+		return quantum.NewCircuit(size), name, nil
+	default:
+		if c == nil {
+			return nil, "", fmt.Errorf("gate %q before qreg declaration", stmt)
+		}
+		g, err := parseGate(stmt, qregName)
+		if err != nil {
+			return nil, "", err
+		}
+		c.Append(g)
+		return c, qregName, nil
+	}
+}
+
+// parseReg handles "q[5]".
+func parseReg(s string) (string, int, error) {
+	open := strings.IndexByte(s, '[')
+	closeIdx := strings.IndexByte(s, ']')
+	if open <= 0 || closeIdx <= open {
+		return "", 0, fmt.Errorf("malformed register declaration %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	size, err := strconv.Atoi(strings.TrimSpace(s[open+1 : closeIdx]))
+	if err != nil || size <= 0 {
+		return "", 0, fmt.Errorf("bad register size in %q", s)
+	}
+	return name, size, nil
+}
+
+var gateNames = map[string]struct {
+	params int
+	arity  int
+	name   quantum.Name
+}{
+	"h": {0, 1, quantum.GateH}, "x": {0, 1, quantum.GateX},
+	"y": {0, 1, quantum.GateY}, "z": {0, 1, quantum.GateZ},
+	"s": {0, 1, quantum.GateS}, "sdg": {0, 1, quantum.GateSdg},
+	"t": {0, 1, quantum.GateT}, "tdg": {0, 1, quantum.GateTdg},
+	"rx": {1, 1, quantum.GateRX}, "ry": {1, 1, quantum.GateRY},
+	"rz": {1, 1, quantum.GateRZ},
+	"cx": {0, 2, quantum.GateCX}, "cz": {0, 2, quantum.GateCZ},
+	"swap": {0, 2, quantum.GateSWAP}, "rzz": {1, 2, quantum.GateRZZ},
+}
+
+func parseGate(stmt, qregName string) (quantum.Gate, error) {
+	// Form: name[(expr)] operand[,operand].
+	head := stmt
+	var paramExpr string
+	if open := strings.IndexByte(stmt, '('); open >= 0 {
+		closeIdx := strings.IndexByte(stmt, ')')
+		if closeIdx < open {
+			return quantum.Gate{}, fmt.Errorf("malformed parameter list in %q", stmt)
+		}
+		head = stmt[:open] + stmt[closeIdx+1:]
+		paramExpr = stmt[open+1 : closeIdx]
+	}
+	fields := strings.Fields(head)
+	if len(fields) < 2 {
+		return quantum.Gate{}, fmt.Errorf("malformed gate statement %q", stmt)
+	}
+	name := strings.ToLower(fields[0])
+	spec, ok := gateNames[name]
+	if !ok {
+		return quantum.Gate{}, fmt.Errorf("unsupported gate %q", name)
+	}
+	operands := strings.Join(fields[1:], "")
+	var qubits []int
+	for _, op := range strings.Split(operands, ",") {
+		q, err := parseOperand(op, qregName)
+		if err != nil {
+			return quantum.Gate{}, err
+		}
+		qubits = append(qubits, q)
+	}
+	if len(qubits) != spec.arity {
+		return quantum.Gate{}, fmt.Errorf("gate %s expects %d operands, got %d",
+			name, spec.arity, len(qubits))
+	}
+	g := quantum.Gate{Name: spec.name, Qubits: qubits}
+	if spec.params == 1 {
+		if paramExpr == "" {
+			return quantum.Gate{}, fmt.Errorf("gate %s needs an angle", name)
+		}
+		v, err := evalAngle(paramExpr)
+		if err != nil {
+			return quantum.Gate{}, err
+		}
+		g.Params = []float64{v}
+	} else if paramExpr != "" {
+		return quantum.Gate{}, fmt.Errorf("gate %s takes no parameters", name)
+	}
+	return g, nil
+}
+
+func parseOperand(op, qregName string) (int, error) {
+	op = strings.TrimSpace(op)
+	name, idxStr, ok := splitIndex(op)
+	if !ok {
+		return 0, fmt.Errorf("malformed operand %q", op)
+	}
+	if name != qregName {
+		return 0, fmt.Errorf("unknown register %q (declared %q)", name, qregName)
+	}
+	q, err := strconv.Atoi(idxStr)
+	if err != nil || q < 0 {
+		return 0, fmt.Errorf("bad qubit index in %q", op)
+	}
+	return q, nil
+}
+
+func splitIndex(s string) (name, idx string, ok bool) {
+	open := strings.IndexByte(s, '[')
+	closeIdx := strings.IndexByte(s, ']')
+	if open <= 0 || closeIdx != len(s)-1 || closeIdx <= open {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:open]), strings.TrimSpace(s[open+1 : closeIdx]), true
+}
+
+// evalAngle evaluates a restricted angle expression: an optional unary
+// minus, numeric literals, "pi", and one "*" or "/" between two terms.
+func evalAngle(expr string) (float64, error) {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return 0, fmt.Errorf("empty angle expression")
+	}
+	for _, op := range []byte{'*', '/'} {
+		// Find the operator outside of the leading sign position.
+		if i := strings.IndexByte(expr[1:], op); i >= 0 {
+			pos := i + 1
+			lhs, err := evalTerm(expr[:pos])
+			if err != nil {
+				return 0, err
+			}
+			rhs, err := evalTerm(expr[pos+1:])
+			if err != nil {
+				return 0, err
+			}
+			if op == '*' {
+				return lhs * rhs, nil
+			}
+			if rhs == 0 {
+				return 0, fmt.Errorf("division by zero in %q", expr)
+			}
+			return lhs / rhs, nil
+		}
+	}
+	return evalTerm(expr)
+}
+
+func evalTerm(term string) (float64, error) {
+	term = strings.TrimSpace(term)
+	neg := false
+	for strings.HasPrefix(term, "-") {
+		neg = !neg
+		term = strings.TrimSpace(term[1:])
+	}
+	var v float64
+	switch strings.ToLower(term) {
+	case "pi":
+		v = math.Pi
+	default:
+		parsed, err := strconv.ParseFloat(term, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle term %q", term)
+		}
+		v = parsed
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

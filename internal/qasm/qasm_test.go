@@ -1,0 +1,193 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/qaoa"
+	"repro/internal/quantum"
+)
+
+func TestMarshalContainsExpectedStatements(t *testing.T) {
+	c := quantum.NewCircuit(3).H(0).CX(0, 1).RZ(2, math.Pi/4).RZZ(1, 2, 0.5)
+	src, err := Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"OPENQASM 2.0;",
+		`include "qelib1.inc";`,
+		"qreg q[3];",
+		"h q[0];",
+		"cx q[0],q[1];",
+		"rzz(0.5) q[1],q[2];",
+		"measure q[2] -> c[2];",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q in:\n%s", want, src)
+		}
+	}
+}
+
+func TestRoundTripPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 5; trial++ {
+		n := 3 + rng.Intn(3)
+		c := quantum.NewCircuit(n)
+		for i := 0; i < 25; i++ {
+			q := rng.Intn(n)
+			switch rng.Intn(6) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.Sdg(q)
+			case 2:
+				c.RX(q, rng.Float64()*2*math.Pi)
+			case 3:
+				c.RY(q, -rng.Float64())
+			default:
+				r := (q + 1 + rng.Intn(n-1)) % n
+				if rng.Intn(2) == 0 {
+					c.CX(q, r)
+				} else {
+					c.RZZ(q, r, rng.Float64())
+				}
+			}
+		}
+		src, err := Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if back.NumQubits() != n || back.Len() != c.Len() {
+			t.Fatalf("structure changed: %d/%d gates", back.Len(), c.Len())
+		}
+		a := quantum.Run(c).Probabilities()
+		b := quantum.Run(back).Probabilities()
+		if d := dist.TVDVector(a, b); d > 1e-12 {
+			t.Fatalf("trial %d: round-trip TVD = %v", trial, d)
+		}
+	}
+}
+
+func TestRoundTripBenchmarkCircuits(t *testing.T) {
+	bv := circuits.BV(6, 0b101101)
+	g := graph.Ring(5)
+	qa := qaoa.Build(g, qaoa.RampParams(2))
+	for name, c := range map[string]*quantum.Circuit{"bv": bv, "qaoa": qa} {
+		src, err := Marshal(c)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := Unmarshal(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a := quantum.Run(c).Probabilities()
+		b := quantum.Run(back).Probabilities()
+		if d := dist.TVDVector(a, b); d > 1e-12 {
+			t.Errorf("%s: round-trip TVD = %v", name, d)
+		}
+	}
+}
+
+func TestParseAngleExpressions(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+rz(pi/2) q[0];
+rx(-pi/4) q[0];
+ry(0.5*pi) q[0];
+rz(-0.25) q[0];
+rz(pi) q[0];
+`
+	c, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gates := c.Gates()
+	want := []float64{math.Pi / 2, -math.Pi / 4, 0.5 * math.Pi, -0.25, math.Pi}
+	if len(gates) != len(want) {
+		t.Fatalf("gate count = %d", len(gates))
+	}
+	for i, g := range gates {
+		if math.Abs(g.Params[0]-want[i]) > 1e-12 {
+			t.Errorf("gate %d angle = %v, want %v", i, g.Params[0], want[i])
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndMeasure(t *testing.T) {
+	src := `// a comment
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2]; creg c[2];
+h q[0]; // trailing comment
+barrier q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+`
+	c, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("gate count = %d, want 2", c.Len())
+	}
+}
+
+func TestParseMultiStatementLines(t *testing.T) {
+	src := `OPENQASM 2.0; qreg q[2]; h q[0]; cx q[0],q[1];`
+	c, err := Unmarshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.NumQubits() != 2 {
+		t.Errorf("parsed %d gates over %d qubits", c.Len(), c.NumQubits())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no qreg":         `OPENQASM 2.0; h q[0];`,
+		"double qreg":     `qreg q[2]; qreg r[2];`,
+		"unknown gate":    `qreg q[2]; ccx q[0],q[1];`,
+		"bad register":    `qreg q[2]; h r[0];`,
+		"bad arity":       `qreg q[2]; cx q[0];`,
+		"missing angle":   `qreg q[1]; rz q[0];`,
+		"extra param":     `qreg q[2]; cx(0.5) q[0],q[1];`,
+		"bad angle":       `qreg q[1]; rz(banana) q[0];`,
+		"div zero":        `qreg q[1]; rz(pi/0) q[0];`,
+		"bad operand":     `qreg q[1]; h q0;`,
+		"bad qreg size":   `qreg q[zero];`,
+		"unterminated":    `qreg q[1]; h q[0]`,
+		"negative index":  `qreg q[2]; h q[-1];`,
+		"index too large": `qreg q[2]; h q[7];`,
+	}
+	for name, src := range cases {
+		if _, err := safeUnmarshal(src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// safeUnmarshal converts circuit-construction panics (e.g. out-of-range
+// qubit indices) into errors so the table test above stays uniform.
+func safeUnmarshal(src string) (c *quantum.Circuit, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return Unmarshal(src)
+}

@@ -1,0 +1,52 @@
+package quantum
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkApply1Q(b *testing.B) {
+	for _, n := range []int{10, 16, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewState(n)
+			h := matrix1Q(Gate{Name: GateH, Qubits: []int{0}})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Apply1Q(i%n, h)
+			}
+		})
+	}
+}
+
+func BenchmarkApplyCX(b *testing.B) {
+	for _, n := range []int{10, 16, 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewState(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ApplyCX(i%n, (i+1)%n)
+			}
+		})
+	}
+}
+
+func BenchmarkRunRandomCircuit(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		rng := rand.New(rand.NewSource(1))
+		c := randomCircuit(n, 10*n, rng)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(c)
+			}
+		})
+	}
+}
+
+func BenchmarkProbabilities(b *testing.B) {
+	s := NewState(18)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Probabilities()
+	}
+}

@@ -1,0 +1,164 @@
+package quantum
+
+import "fmt"
+
+// Circuit is an ordered list of gates over n qubits. The builder methods
+// return the circuit for chaining.
+type Circuit struct {
+	n   int
+	ops []Gate
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit {
+	if n <= 0 {
+		panic(fmt.Sprintf("quantum: circuit needs at least one qubit, got %d", n))
+	}
+	return &Circuit{n: n}
+}
+
+// NumQubits returns the register width.
+func (c *Circuit) NumQubits() int { return c.n }
+
+// Gates returns a copy of the gate list.
+func (c *Circuit) Gates() []Gate {
+	out := make([]Gate, len(c.ops))
+	copy(out, c.ops)
+	return out
+}
+
+// Len returns the number of gates.
+func (c *Circuit) Len() int { return len(c.ops) }
+
+// Append adds a gate after validating its qubit operands.
+func (c *Circuit) Append(g Gate) *Circuit {
+	for _, q := range g.Qubits {
+		if q < 0 || q >= c.n {
+			panic(fmt.Sprintf("quantum: gate %v uses qubit %d outside register of %d", g, q, c.n))
+		}
+	}
+	if g.IsTwoQubit() && g.Qubits[0] == g.Qubits[1] {
+		panic(fmt.Sprintf("quantum: two-qubit gate %v on identical qubits", g))
+	}
+	c.ops = append(c.ops, g)
+	return c
+}
+
+// H, X, Y, Z, S, Sdg, T, Tdg append the corresponding one-qubit gate.
+func (c *Circuit) H(q int) *Circuit   { return c.Append(Gate{Name: GateH, Qubits: []int{q}}) }
+func (c *Circuit) X(q int) *Circuit   { return c.Append(Gate{Name: GateX, Qubits: []int{q}}) }
+func (c *Circuit) Y(q int) *Circuit   { return c.Append(Gate{Name: GateY, Qubits: []int{q}}) }
+func (c *Circuit) Z(q int) *Circuit   { return c.Append(Gate{Name: GateZ, Qubits: []int{q}}) }
+func (c *Circuit) S(q int) *Circuit   { return c.Append(Gate{Name: GateS, Qubits: []int{q}}) }
+func (c *Circuit) Sdg(q int) *Circuit { return c.Append(Gate{Name: GateSdg, Qubits: []int{q}}) }
+func (c *Circuit) T(q int) *Circuit   { return c.Append(Gate{Name: GateT, Qubits: []int{q}}) }
+func (c *Circuit) Tdg(q int) *Circuit { return c.Append(Gate{Name: GateTdg, Qubits: []int{q}}) }
+
+// RX, RY, RZ append one-qubit rotations by theta.
+func (c *Circuit) RX(q int, theta float64) *Circuit {
+	return c.Append(Gate{Name: GateRX, Qubits: []int{q}, Params: []float64{theta}})
+}
+func (c *Circuit) RY(q int, theta float64) *Circuit {
+	return c.Append(Gate{Name: GateRY, Qubits: []int{q}, Params: []float64{theta}})
+}
+func (c *Circuit) RZ(q int, theta float64) *Circuit {
+	return c.Append(Gate{Name: GateRZ, Qubits: []int{q}, Params: []float64{theta}})
+}
+
+// CX appends a controlled-NOT with the given control and target.
+func (c *Circuit) CX(control, target int) *Circuit {
+	return c.Append(Gate{Name: GateCX, Qubits: []int{control, target}})
+}
+
+// CZ appends a controlled-Z (symmetric in its operands).
+func (c *Circuit) CZ(a, b int) *Circuit {
+	return c.Append(Gate{Name: GateCZ, Qubits: []int{a, b}})
+}
+
+// SWAP appends a swap of two qubits.
+func (c *Circuit) SWAP(a, b int) *Circuit {
+	return c.Append(Gate{Name: GateSWAP, Qubits: []int{a, b}})
+}
+
+// RZZ appends exp(-i theta/2 Z⊗Z) on qubits a and b (QAOA cost term).
+func (c *Circuit) RZZ(a, b int, theta float64) *Circuit {
+	return c.Append(Gate{Name: GateRZZ, Qubits: []int{a, b}, Params: []float64{theta}})
+}
+
+// Compose appends every gate of other (which must have the same width).
+func (c *Circuit) Compose(other *Circuit) *Circuit {
+	if other.n != c.n {
+		panic(fmt.Sprintf("quantum: compose width mismatch %d vs %d", c.n, other.n))
+	}
+	for _, g := range other.ops {
+		c.Append(g)
+	}
+	return c
+}
+
+// Inverse returns a new circuit implementing the adjoint: gates reversed and
+// individually inverted, so that c.Compose(c.Inverse()) is the identity.
+func (c *Circuit) Inverse() *Circuit {
+	inv := NewCircuit(c.n)
+	for i := len(c.ops) - 1; i >= 0; i-- {
+		inv.Append(c.ops[i].Inverse())
+	}
+	return inv
+}
+
+// Depth returns the circuit depth under ASAP scheduling: the length of the
+// longest chain of gates sharing qubits.
+func (c *Circuit) Depth() int {
+	level := make([]int, c.n)
+	depth := 0
+	for _, g := range c.ops {
+		l := 0
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		l++
+		for _, q := range g.Qubits {
+			level[q] = l
+		}
+		if l > depth {
+			depth = l
+		}
+	}
+	return depth
+}
+
+// Stats summarizes the circuit for noise modelling: total and two-qubit gate
+// counts, per-qubit gate counts, and depth.
+type Stats struct {
+	Qubits      int
+	Gates       int
+	TwoQubit    int
+	Depth       int
+	PerQubit    []int // gates touching each qubit
+	TwoQubitPer []int // two-qubit gates touching each qubit
+}
+
+// Stats computes the summary in one pass.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Qubits:      c.n,
+		Gates:       len(c.ops),
+		Depth:       c.Depth(),
+		PerQubit:    make([]int, c.n),
+		TwoQubitPer: make([]int, c.n),
+	}
+	for _, g := range c.ops {
+		for _, q := range g.Qubits {
+			s.PerQubit[q]++
+		}
+		if g.IsTwoQubit() {
+			s.TwoQubit++
+			for _, q := range g.Qubits {
+				s.TwoQubitPer[q]++
+			}
+		}
+	}
+	return s
+}

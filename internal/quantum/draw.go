@@ -1,0 +1,82 @@
+package quantum
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Draw renders the circuit as ASCII art, one row per qubit and one column
+// per ASAP layer, for debugging and examples:
+//
+//	q0: ─H──●──────
+//	q1: ────X───●──
+//	q2: ────────X──
+//
+// Controls render as ●, CX targets as X, and parametric gates carry their
+// name (angles are omitted to keep columns narrow).
+func (c *Circuit) Draw() string {
+	// Assign gates to ASAP layers.
+	level := make([]int, c.n)
+	type cell struct{ label string }
+	var layers [][]cell // layers[l][q]
+	ensure := func(l int) {
+		for len(layers) <= l {
+			col := make([]cell, c.n)
+			layers = append(layers, col)
+		}
+	}
+	for _, g := range c.ops {
+		l := 0
+		for _, q := range g.Qubits {
+			if level[q] > l {
+				l = level[q]
+			}
+		}
+		ensure(l)
+		switch {
+		case g.Name == GateCX:
+			layers[l][g.Qubits[0]].label = "●"
+			layers[l][g.Qubits[1]].label = "X"
+		case g.Name == GateCZ:
+			layers[l][g.Qubits[0]].label = "●"
+			layers[l][g.Qubits[1]].label = "●"
+		case g.Name == GateSWAP:
+			layers[l][g.Qubits[0]].label = "x"
+			layers[l][g.Qubits[1]].label = "x"
+		case g.Name == GateRZZ:
+			layers[l][g.Qubits[0]].label = "ZZ"
+			layers[l][g.Qubits[1]].label = "ZZ"
+		default:
+			layers[l][g.Qubits[0]].label = strings.ToUpper(string(g.Name))
+		}
+		for _, q := range g.Qubits {
+			level[q] = l + 1
+		}
+	}
+	// Column widths.
+	widths := make([]int, len(layers))
+	for l, col := range layers {
+		w := 1
+		for _, cl := range col {
+			if len([]rune(cl.label)) > w {
+				w = len([]rune(cl.label))
+			}
+		}
+		widths[l] = w
+	}
+	var sb strings.Builder
+	for q := 0; q < c.n; q++ {
+		fmt.Fprintf(&sb, "q%-2d:", q)
+		for l, col := range layers {
+			label := col[q].label
+			if label == "" {
+				sb.WriteString("─" + strings.Repeat("─", widths[l]) + "─")
+				continue
+			}
+			pad := widths[l] - len([]rune(label))
+			sb.WriteString("─" + label + strings.Repeat("─", pad) + "─")
+		}
+		sb.WriteString("─\n")
+	}
+	return sb.String()
+}

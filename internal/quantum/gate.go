@@ -1,0 +1,132 @@
+// Package quantum implements a dense statevector simulator and a small
+// circuit IR sufficient for every workload in the HAMMER paper: Bernstein-
+// Vazirani, GHZ, QAOA Maxcut, and the mirror random-unitary circuits of §7.
+//
+// Qubit q corresponds to bit q of the basis-state index, matching the
+// bitstr convention, so simulator output plugs directly into the Hamming
+// analysis pipeline.
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Name identifies a gate type.
+type Name string
+
+// Supported gate names. One-qubit gates act on Qubits[0]; two-qubit gates on
+// Qubits[0] (control, where meaningful) and Qubits[1].
+const (
+	GateH    Name = "h"
+	GateX    Name = "x"
+	GateY    Name = "y"
+	GateZ    Name = "z"
+	GateS    Name = "s"
+	GateSdg  Name = "sdg"
+	GateT    Name = "t"
+	GateTdg  Name = "tdg"
+	GateRX   Name = "rx"
+	GateRY   Name = "ry"
+	GateRZ   Name = "rz"
+	GateCX   Name = "cx"
+	GateCZ   Name = "cz"
+	GateSWAP Name = "swap"
+	// GateRZZ is the two-qubit phase rotation exp(-i θ/2 Z⊗Z) used by QAOA
+	// cost layers. The transpiler lowers it to CX·RZ·CX when a device
+	// basis is requested.
+	GateRZZ Name = "rzz"
+)
+
+// Gate is one operation in a circuit.
+type Gate struct {
+	Name   Name
+	Qubits []int
+	Params []float64
+}
+
+// Arity returns the number of qubits the gate acts on.
+func (g Gate) Arity() int { return len(g.Qubits) }
+
+// IsTwoQubit reports whether the gate entangles two qubits.
+func (g Gate) IsTwoQubit() bool { return len(g.Qubits) == 2 }
+
+// Inverse returns the adjoint gate.
+func (g Gate) Inverse() Gate {
+	switch g.Name {
+	case GateH, GateX, GateY, GateZ, GateCX, GateCZ, GateSWAP:
+		return g
+	case GateS:
+		return Gate{Name: GateSdg, Qubits: g.Qubits}
+	case GateSdg:
+		return Gate{Name: GateS, Qubits: g.Qubits}
+	case GateT:
+		return Gate{Name: GateTdg, Qubits: g.Qubits}
+	case GateTdg:
+		return Gate{Name: GateT, Qubits: g.Qubits}
+	case GateRX, GateRY, GateRZ, GateRZZ:
+		return Gate{Name: g.Name, Qubits: g.Qubits, Params: []float64{-g.Params[0]}}
+	default:
+		panic(fmt.Sprintf("quantum: no inverse for gate %q", g.Name))
+	}
+}
+
+func (g Gate) String() string {
+	s := string(g.Name)
+	if len(g.Params) > 0 {
+		s += fmt.Sprintf("(%.4f)", g.Params[0])
+	}
+	for _, q := range g.Qubits {
+		s += fmt.Sprintf(" q%d", q)
+	}
+	return s
+}
+
+// Matrix2 is a 2x2 complex unitary in row-major order.
+type Matrix2 [2][2]complex128
+
+// matrix1Q returns the unitary of a one-qubit gate.
+func matrix1Q(g Gate) Matrix2 {
+	inv := complex(1/math.Sqrt2, 0)
+	switch g.Name {
+	case GateH:
+		return Matrix2{{inv, inv}, {inv, -inv}}
+	case GateX:
+		return Matrix2{{0, 1}, {1, 0}}
+	case GateY:
+		return Matrix2{{0, -1i}, {1i, 0}}
+	case GateZ:
+		return Matrix2{{1, 0}, {0, -1}}
+	case GateS:
+		return Matrix2{{1, 0}, {0, 1i}}
+	case GateSdg:
+		return Matrix2{{1, 0}, {0, -1i}}
+	case GateT:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(1i * math.Pi / 4)}}
+	case GateTdg:
+		return Matrix2{{1, 0}, {0, cmplx.Exp(-1i * math.Pi / 4)}}
+	case GateRX:
+		c, s := rotHalf(g)
+		return Matrix2{{c, -1i * s}, {-1i * s, c}}
+	case GateRY:
+		c, s := rotHalf(g)
+		return Matrix2{{c, -s}, {s, c}}
+	case GateRZ:
+		theta := g.Params[0]
+		return Matrix2{
+			{cmplx.Exp(complex(0, -theta/2)), 0},
+			{0, cmplx.Exp(complex(0, theta/2))},
+		}
+	default:
+		panic(fmt.Sprintf("quantum: %q is not a one-qubit gate", g.Name))
+	}
+}
+
+func rotHalf(g Gate) (c, s complex128) {
+	if len(g.Params) != 1 {
+		panic(fmt.Sprintf("quantum: rotation gate %q needs exactly one angle", g.Name))
+	}
+	theta := g.Params[0]
+	return complex(math.Cos(theta/2), 0), complex(math.Sin(theta/2), 0)
+}

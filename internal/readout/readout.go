@@ -1,0 +1,87 @@
+// Package readout implements the tensored confusion-matrix inversion used as
+// the measurement-error-mitigation baseline (paper refs [8, 21]; the Google
+// dataset is pre-corrected with such a scheme, §6.4). It is orthogonal to
+// HAMMER and can be composed with it.
+package readout
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// Calibration holds per-qubit readout error rates, as measured from
+// preparation experiments: P01[q] = P(read 1 | prepared 0),
+// P10[q] = P(read 0 | prepared 1).
+type Calibration struct {
+	P01, P10 []float64
+}
+
+// Validate checks rates and ensures each per-qubit confusion matrix is
+// invertible (p01 + p10 < 1).
+func (c *Calibration) Validate(n int) error {
+	if len(c.P01) != n || len(c.P10) != n {
+		return fmt.Errorf("readout: calibration has %d/%d rates for %d qubits",
+			len(c.P01), len(c.P10), n)
+	}
+	for q := 0; q < n; q++ {
+		p01, p10 := c.P01[q], c.P10[q]
+		if p01 < 0 || p10 < 0 || p01 > 1 || p10 > 1 {
+			return fmt.Errorf("readout: qubit %d rates (%v, %v) out of range", q, p01, p10)
+		}
+		if p01+p10 >= 1 {
+			return fmt.Errorf("readout: qubit %d confusion matrix singular (p01+p10 = %v)",
+				q, p01+p10)
+		}
+	}
+	return nil
+}
+
+// Uniform builds a calibration with identical rates on every qubit.
+func Uniform(n int, p01, p10 float64) *Calibration {
+	c := &Calibration{P01: make([]float64, n), P10: make([]float64, n)}
+	for q := 0; q < n; q++ {
+		c.P01[q] = p01
+		c.P10[q] = p10
+	}
+	return c
+}
+
+// Mitigate inverts the tensored confusion matrix over the dense form of the
+// measured distribution, clips the (possibly slightly negative) result to
+// the probability simplex, and renormalizes. This is the linear-inversion
+// baseline; it corrects readout bias but cannot address gate errors.
+func Mitigate(d *dist.Dist, cal *Calibration) *dist.Dist {
+	n := d.NumBits()
+	if err := cal.Validate(n); err != nil {
+		panic(err)
+	}
+	v := d.Dense()
+	raw := v.Raw()
+	for q := 0; q < n; q++ {
+		p01, p10 := cal.P01[q], cal.P10[q]
+		if p01 == 0 && p10 == 0 {
+			continue
+		}
+		det := 1 - p01 - p10
+		// Inverse of [[1-p01, p10], [p01, 1-p10]] / det.
+		i00, i01 := (1-p10)/det, -p10/det
+		i10, i11 := -p01/det, (1-p01)/det
+		bit := 1 << uint(q)
+		for base := 0; base < len(raw); base += bit << 1 {
+			for i := base; i < base+bit; i++ {
+				j := i | bit
+				v0, v1 := raw[i], raw[j]
+				raw[i] = i00*v0 + i01*v1
+				raw[j] = i10*v0 + i11*v1
+			}
+		}
+	}
+	// Clip to the simplex and renormalize.
+	for i := range raw {
+		if raw[i] < 0 {
+			raw[i] = 0
+		}
+	}
+	return v.Normalize().Sparse(1e-15)
+}

@@ -1,0 +1,195 @@
+// Package stats provides the small statistical toolkit the paper's analyses
+// need: summary statistics, geometric means for improvement ratios (Fig. 8),
+// Spearman rank correlation (Fig. 11), and plotting helpers (S-curves,
+// histograms, linspace grids).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean. It panics on empty input.
+func Mean(xs []float64) float64 {
+	mustNonEmpty(xs, "Mean")
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 {
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// Median returns the median (average of the two middle values for even n).
+func Median(xs []float64) float64 {
+	mustNonEmpty(xs, "Median")
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	m := len(c) / 2
+	if len(c)%2 == 1 {
+		return c[m]
+	}
+	return (c[m-1] + c[m]) / 2
+}
+
+// GeoMean returns the geometric mean; every input must be positive. The
+// paper reports improvement factors (1.38x PST, 1.74x IST) as gmeans.
+func GeoMean(xs []float64) float64 {
+	mustNonEmpty(xs, "GeoMean")
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean needs positive values, got %v", x))
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min and Max return the extreme values.
+func Min(xs []float64) float64 {
+	mustNonEmpty(xs, "Min")
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func Max(xs []float64) float64 {
+	mustNonEmpty(xs, "Max")
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Pearson returns the Pearson linear correlation coefficient of paired
+// samples. Zero-variance inputs yield NaN, matching the undefined case.
+func Pearson(xs, ys []float64) float64 {
+	mustPaired(xs, ys, "Pearson")
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation coefficient, the statistic
+// Fig. 11 uses to relate EHD with entanglement entropy and fidelity. Ties
+// receive fractional (average) ranks.
+func Spearman(xs, ys []float64) float64 {
+	mustPaired(xs, ys, "Spearman")
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && xs[idx[j]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j
+	}
+	return r
+}
+
+// Linspace returns count evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, count int) []float64 {
+	if count < 2 {
+		panic("stats: Linspace needs at least 2 points")
+	}
+	out := make([]float64, count)
+	step := (hi - lo) / float64(count-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[count-1] = hi // avoid drift
+	return out
+}
+
+// SCurve returns the values sorted ascending — the x-axis ordering used by
+// the paper's Fig. 9 "S-curve" presentation of per-instance cost ratios.
+func SCurve(xs []float64) []float64 {
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	return c
+}
+
+// Histogram bins values into count equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with the given bin count.
+func NewHistogram(lo, hi float64, bins int, xs []float64) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram config lo=%v hi=%v bins=%d", lo, hi, bins))
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint of bin b.
+func (h *Histogram) BinCenter(b int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(b)+0.5)*w
+}
+
+func mustNonEmpty(xs []float64, fn string) {
+	if len(xs) == 0 {
+		panic("stats: " + fn + " on empty slice")
+	}
+}
+
+func mustPaired(xs, ys []float64, fn string) {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: %s length mismatch %d vs %d", fn, len(xs), len(ys)))
+	}
+	if len(xs) < 2 {
+		panic("stats: " + fn + " needs at least 2 samples")
+	}
+}

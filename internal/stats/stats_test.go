@@ -1,0 +1,178 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanStdMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(xs), 5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(xs))
+	}
+	if !almostEq(Std(xs), 2, 1e-12) {
+		t.Errorf("Std = %v", Std(xs))
+	}
+	if !almostEq(Median(xs), 4.5, 1e-12) {
+		t.Errorf("Median = %v", Median(xs))
+	}
+	if !almostEq(Median([]float64{3, 1, 2}), 2, 1e-12) {
+		t.Errorf("odd Median = %v", Median([]float64{3, 1, 2}))
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if !almostEq(GeoMean([]float64{1, 4}), 2, 1e-12) {
+		t.Errorf("GeoMean = %v", GeoMean([]float64{1, 4}))
+	}
+	if !almostEq(GeoMean([]float64{2, 2, 2}), 2, 1e-12) {
+		t.Errorf("GeoMean constant = %v", GeoMean([]float64{2, 2, 2}))
+	}
+}
+
+func TestGeoMeanBetweenMinMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, v := range raw {
+			if v > 0.01 && v < 100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9 && g <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if !almostEq(Pearson(xs, ys), 1, 1e-12) {
+		t.Errorf("Pearson = %v", Pearson(xs, ys))
+	}
+	neg := []float64{8, 6, 4, 2}
+	if !almostEq(Pearson(xs, neg), -1, 1e-12) {
+		t.Errorf("Pearson anti = %v", Pearson(xs, neg))
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any strictly monotone (even nonlinear) relation gives rho = 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if !almostEq(Spearman(xs, ys), 1, 1e-12) {
+		t.Errorf("Spearman monotone = %v", Spearman(xs, ys))
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	// With ties, average ranks are used; compare against a hand-computed
+	// value: xs = [1,2,2,3], ys = [1,2,3,4].
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 3, 4}
+	// ranks(xs) = [1, 2.5, 2.5, 4], ranks(ys) = [1,2,3,4].
+	// Pearson of those: cov = (−1.5)(−1.5)+0(−0.5)+0(0.5)+1.5·1.5 = 4.5;
+	// var_x = 2.25+0+0+2.25 = 4.5; var_y = 5; rho = 4.5/sqrt(22.5) ≈ 0.9487.
+	want := 4.5 / math.Sqrt(4.5*5)
+	if got := Spearman(xs, ys); !almostEq(got, want, 1e-12) {
+		t.Errorf("Spearman ties = %v, want %v", got, want)
+	}
+}
+
+func TestSpearmanIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 2000
+	xs, ys := make([]float64, n), make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.NormFloat64()
+	}
+	if rho := Spearman(xs, ys); math.Abs(rho) > 0.08 {
+		t.Errorf("independent Spearman = %v, expected near 0", rho)
+	}
+}
+
+func TestRanksAveraging(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almostEq(r[i], want[i], 1e-12) {
+			t.Errorf("ranks = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEq(xs[i], want[i], 1e-12) {
+			t.Fatalf("Linspace = %v", xs)
+		}
+	}
+	if xs[len(xs)-1] != 1 {
+		t.Error("endpoint drift")
+	}
+}
+
+func TestSCurve(t *testing.T) {
+	in := []float64{3, 1, 2}
+	out := SCurve(in)
+	if !sort.Float64sAreSorted(out) {
+		t.Errorf("SCurve not sorted: %v", out)
+	}
+	if in[0] != 3 {
+		t.Error("SCurve mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5, []float64{0.5, 1, 2.5, 9.9, 11, -1})
+	// Bins: [0,2): {0.5, 1, -1 clamped} = 3; [2,4): {2.5} = 1; [8,10): {9.9, 11 clamped} = 2.
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[4] != 2 {
+		t.Errorf("Histogram counts = %v", h.Counts)
+	}
+	if !almostEq(h.BinCenter(0), 1, 1e-12) || !almostEq(h.BinCenter(4), 9, 1e-12) {
+		t.Errorf("BinCenter = %v, %v", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"mean empty":      func() { Mean(nil) },
+		"median empty":    func() { Median(nil) },
+		"geomean empty":   func() { GeoMean(nil) },
+		"geomean nonpos":  func() { GeoMean([]float64{1, 0}) },
+		"pearson len":     func() { Pearson([]float64{1}, []float64{1, 2}) },
+		"pearson short":   func() { Pearson([]float64{1}, []float64{1}) },
+		"linspace short":  func() { Linspace(0, 1, 1) },
+		"histogram empty": func() { NewHistogram(1, 1, 3, nil) },
+		"histogram bins":  func() { NewHistogram(0, 1, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

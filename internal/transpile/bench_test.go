@@ -1,0 +1,33 @@
+package transpile
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/circuits"
+	"repro/internal/graph"
+	"repro/internal/qaoa"
+)
+
+func BenchmarkTranspileBVOnChain(b *testing.B) {
+	for _, n := range []int{8, 12, 15} {
+		c := circuits.BV(n, bitstr.AllOnes(n))
+		cm := Linear(n + 1)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Transpile(c, cm)
+			}
+		})
+	}
+}
+
+func BenchmarkTranspileQAOAHeavyHex(b *testing.B) {
+	g := graph.GridFor(12)
+	c := qaoa.Build(g, qaoa.RampParams(2))
+	cm := HeavyHexLike(12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Transpile(c, cm)
+	}
+}

@@ -1,0 +1,150 @@
+// Package transpile maps logical circuits onto constrained device couplings,
+// the stand-in for the Qiskit toolchain of §5.2. It provides coupling maps
+// (linear chain, 2-D grid, heavy-hex-like, fully connected), a greedy SWAP
+// router, RZZ lowering to the CX+RZ basis, and a peephole gate-cancellation
+// pass ("recursive compilation to ensure minimum CNOTs").
+//
+// The router is what reproduces the paper's structural claims: BV's CX chain
+// onto one ancilla becomes superlinearly deep on a linear chain (§7), while
+// grid-graph QAOA maps onto a grid coupling with no SWAPs at all (§6.4).
+package transpile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CouplingMap is an undirected device connectivity graph over physical
+// qubits 0..N-1.
+type CouplingMap struct {
+	N   int
+	adj [][]int
+	set map[[2]int]bool
+}
+
+// NewCouplingMap builds a map from an edge list.
+func NewCouplingMap(n int, edges [][2]int) *CouplingMap {
+	if n < 1 {
+		panic(fmt.Sprintf("transpile: coupling map needs qubits, got %d", n))
+	}
+	cm := &CouplingMap{N: n, adj: make([][]int, n), set: make(map[[2]int]bool)}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n || u == v {
+			panic(fmt.Sprintf("transpile: bad coupling edge (%d,%d) for %d qubits", u, v, n))
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int{u, v}
+		if cm.set[key] {
+			continue
+		}
+		cm.set[key] = true
+		cm.adj[u] = append(cm.adj[u], v)
+		cm.adj[v] = append(cm.adj[v], u)
+	}
+	for _, a := range cm.adj {
+		sort.Ints(a)
+	}
+	return cm
+}
+
+// Connected reports whether physical qubits u and v share a coupler.
+func (cm *CouplingMap) Connected(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	return cm.set[[2]int{u, v}]
+}
+
+// Neighbors returns the sorted adjacency of u.
+func (cm *CouplingMap) Neighbors(u int) []int { return cm.adj[u] }
+
+// ShortestPath returns a minimal-hop path from u to v (inclusive) found by
+// breadth-first search, or nil if unreachable.
+func (cm *CouplingMap) ShortestPath(u, v int) []int {
+	if u == v {
+		return []int{u}
+	}
+	prev := make([]int, cm.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[u] = u
+	queue := []int{u}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range cm.adj[cur] {
+			if prev[nb] != -1 {
+				continue
+			}
+			prev[nb] = cur
+			if nb == v {
+				// Reconstruct.
+				path := []int{v}
+				for p := cur; ; p = prev[p] {
+					path = append([]int{p}, path...)
+					if p == u {
+						return path
+					}
+				}
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// Linear returns the n-qubit chain 0-1-2-...-(n-1).
+func Linear(n int) *CouplingMap {
+	edges := make([][2]int, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// GridCoupling returns the rows×cols lattice connectivity (Sycamore-style
+// nearest-neighbor grid).
+func GridCoupling(rows, cols int) *CouplingMap {
+	n := rows * cols
+	var edges [][2]int
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				edges = append(edges, [2]int{id(r, c), id(r, c+1)})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]int{id(r, c), id(r+1, c)})
+			}
+		}
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// HeavyHexLike returns a sparse IBM-style coupling: a chain with rungs every
+// fourth qubit, approximating heavy-hex degree statistics for small n.
+func HeavyHexLike(n int) *CouplingMap {
+	var edges [][2]int
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	for i := 0; i+4 < n; i += 4 {
+		edges = append(edges, [2]int{i, i + 4})
+	}
+	return NewCouplingMap(n, edges)
+}
+
+// FullyConnected returns the all-to-all map (no routing needed).
+func FullyConnected(n int) *CouplingMap {
+	var edges [][2]int
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return NewCouplingMap(n, edges)
+}

@@ -1,0 +1,237 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/circuits"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/qaoa"
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestCouplingMapBasics(t *testing.T) {
+	cm := Linear(4)
+	if !cm.Connected(0, 1) || !cm.Connected(1, 0) || cm.Connected(0, 2) {
+		t.Error("linear connectivity wrong")
+	}
+	if got := cm.ShortestPath(0, 3); len(got) != 4 {
+		t.Errorf("path = %v", got)
+	}
+	if got := cm.ShortestPath(2, 2); len(got) != 1 {
+		t.Errorf("self path = %v", got)
+	}
+	if ns := cm.Neighbors(1); len(ns) != 2 || ns[0] != 0 || ns[1] != 2 {
+		t.Errorf("neighbors = %v", ns)
+	}
+}
+
+func TestGridCoupling(t *testing.T) {
+	cm := GridCoupling(2, 3)
+	if cm.N != 6 {
+		t.Fatalf("N = %d", cm.N)
+	}
+	if !cm.Connected(0, 1) || !cm.Connected(0, 3) || cm.Connected(0, 4) {
+		t.Error("grid connectivity wrong")
+	}
+}
+
+func TestFullyConnectedNeedsNoSwaps(t *testing.T) {
+	c := quantum.NewCircuit(5).CX(0, 4).CX(1, 3)
+	res := Transpile(c, FullyConnected(5))
+	if res.SwapCount != 0 {
+		t.Errorf("swaps = %d", res.SwapCount)
+	}
+	for i, p := range res.Layout {
+		if p != i {
+			t.Errorf("layout perturbed: %v", res.Layout)
+		}
+	}
+}
+
+func TestRoutingPreservesSemantics(t *testing.T) {
+	// A GHZ-5 built with a long-range CX pattern, routed onto a line, must
+	// produce the same logical distribution after remap.
+	c := quantum.NewCircuit(5).H(0)
+	for q := 1; q < 5; q++ {
+		c.CX(0, q) // star pattern: lots of routing on a chain
+	}
+	ideal := quantum.Run(c).Probabilities().Sparse(1e-12)
+	res := Transpile(c, Linear(5))
+	if res.SwapCount == 0 {
+		t.Fatal("expected routing SWAPs on a line")
+	}
+	routed := quantum.Run(res.Circuit).Probabilities().Sparse(1e-12)
+	remapped := res.RemapDist(routed)
+	if d := dist.TVD(ideal, remapped); d > 1e-9 {
+		t.Errorf("routed semantics differ: TVD = %v", d)
+	}
+}
+
+func TestRZZLowering(t *testing.T) {
+	g := graph.Ring(4)
+	c := qaoa.Build(g, qaoa.StandardParams(1))
+	res := Transpile(c, FullyConnected(4))
+	for _, gate := range res.Circuit.Gates() {
+		if gate.Name == quantum.GateRZZ {
+			t.Fatal("RZZ survived lowering")
+		}
+	}
+	ideal := quantum.Run(c).Probabilities().Sparse(1e-12)
+	routed := res.RemapDist(quantum.Run(res.Circuit).Probabilities().Sparse(1e-12))
+	if d := dist.TVD(ideal, routed); d > 1e-9 {
+		t.Errorf("lowering changed semantics: TVD = %v", d)
+	}
+}
+
+func TestBVSuperlinearCXOnLinearChain(t *testing.T) {
+	// §7's structural claim: BV's all-ones key on a chain needs routing
+	// that grows the CX count superlinearly in n.
+	cxAt := func(n int) int {
+		c := circuits.BV(n, bitstr.AllOnes(n))
+		res := Transpile(c, Linear(n+1))
+		return res.Circuit.Stats().TwoQubit
+	}
+	cx6, cx12 := cxAt(6), cxAt(12)
+	if cx12 <= 2*cx6 {
+		t.Errorf("CX growth not superlinear: cx(6)=%d cx(12)=%d", cx6, cx12)
+	}
+}
+
+func TestGridQAOAOnGridCouplingNoSwaps(t *testing.T) {
+	// §6.4: grid-graph QAOA maps onto grid hardware without SWAPs.
+	g := graph.Grid(2, 3)
+	c := qaoa.Build(g, qaoa.StandardParams(1))
+	res := Transpile(c, GridCoupling(2, 3))
+	if res.SwapCount != 0 {
+		t.Errorf("grid-on-grid needed %d swaps", res.SwapCount)
+	}
+}
+
+func TestHeavyHexLike(t *testing.T) {
+	cm := HeavyHexLike(9)
+	if !cm.Connected(0, 4) || !cm.Connected(4, 8) {
+		t.Error("missing rungs")
+	}
+	if !cm.Connected(2, 3) {
+		t.Error("missing chain edge")
+	}
+}
+
+func TestCancelRemovesInversePairs(t *testing.T) {
+	c := quantum.NewCircuit(2).H(0).H(0).X(1).CX(0, 1).CX(0, 1).X(1)
+	out := Cancel(c)
+	if out.Len() != 0 {
+		t.Errorf("cancel left %d gates: %v", out.Len(), out.Gates())
+	}
+}
+
+func TestCancelRespectsInterveningGates(t *testing.T) {
+	// H(0) Z(0) H(0): nothing cancels (Z intervenes on the same qubit).
+	c := quantum.NewCircuit(1).H(0).Z(0).H(0)
+	if got := Cancel(c).Len(); got != 3 {
+		t.Errorf("cancel removed through an intervening gate: %d gates left", got)
+	}
+	// CX(0,1) H(1) CX(0,1): H on the target intervenes.
+	c2 := quantum.NewCircuit(2).CX(0, 1).H(1).CX(0, 1)
+	if got := Cancel(c2).Len(); got != 3 {
+		t.Errorf("cancel ignored target-qubit interference: %d", got)
+	}
+	// CX(0,1) H(0)... H(0) does NOT commute with control; must not cancel.
+	c3 := quantum.NewCircuit(2).CX(0, 1).H(0).CX(0, 1)
+	if got := Cancel(c3).Len(); got != 3 {
+		t.Errorf("cancel ignored control-qubit interference: %d", got)
+	}
+}
+
+func TestCancelRotations(t *testing.T) {
+	// RZ(θ) then RZ(-θ) cancels; RZ(θ) RZ(θ) does not.
+	c := quantum.NewCircuit(1).RZ(0, 0.5).RZ(0, -0.5)
+	if got := Cancel(c).Len(); got != 0 {
+		t.Errorf("inverse rotations survived: %d", got)
+	}
+	c2 := quantum.NewCircuit(1).RZ(0, 0.5).RZ(0, 0.5)
+	if got := Cancel(c2).Len(); got != 2 {
+		t.Errorf("same-sign rotations cancelled: %d", got)
+	}
+}
+
+func TestCancelPreservesSemantics(t *testing.T) {
+	c := quantum.NewCircuit(3).H(0).H(0).CX(0, 1).H(2).CX(1, 2).CX(1, 2).RY(0, 1.2)
+	a := quantum.Run(c).Probabilities()
+	b := quantum.Run(Cancel(c)).Probabilities()
+	if d := dist.TVDVector(a, b); d > 1e-12 {
+		t.Errorf("cancel changed semantics: %v", d)
+	}
+}
+
+func TestSWAPCancellation(t *testing.T) {
+	c := quantum.NewCircuit(2).SWAP(0, 1).SWAP(0, 1)
+	if got := Cancel(c).Len(); got != 0 {
+		t.Errorf("SWAP pair survived: %d", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad edge":       func() { NewCouplingMap(2, [][2]int{{0, 5}}) },
+		"self edge":      func() { NewCouplingMap(2, [][2]int{{1, 1}}) },
+		"zero qubits":    func() { NewCouplingMap(0, nil) },
+		"width mismatch": func() { Transpile(quantum.NewCircuit(3), Linear(5)) },
+		"small device":   func() { Transpile(quantum.NewCircuit(3), Linear(2)) },
+		"disconnected": func() {
+			cm := NewCouplingMap(4, [][2]int{{0, 1}, {2, 3}})
+			Transpile(quantum.NewCircuit(4).CX(0, 3), cm)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRandomizedRoutingPreservesSemantics(t *testing.T) {
+	// Property test: any random circuit routed onto any of the coupling
+	// families yields the same logical distribution after remapping.
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 6; trial++ {
+		n := 4 + rng.Intn(3)
+		c := quantum.NewCircuit(n)
+		for i := 0; i < 30; i++ {
+			q := rng.Intn(n)
+			switch rng.Intn(5) {
+			case 0:
+				c.H(q)
+			case 1:
+				c.RY(q, rng.Float64()*3)
+			case 2:
+				c.T(q)
+			default:
+				r := (q + 1 + rng.Intn(n-1)) % n
+				if rng.Intn(2) == 0 {
+					c.CX(q, r)
+				} else {
+					c.RZZ(q, r, rng.Float64())
+				}
+			}
+		}
+		ideal := quantum.Run(c).Probabilities().Sparse(1e-12)
+		for _, cm := range []*CouplingMap{Linear(n), HeavyHexLike(n), FullyConnected(n)} {
+			res := Transpile(c, cm)
+			routed := res.RemapDist(quantum.Run(res.Circuit).Probabilities().Sparse(1e-12))
+			if d := dist.TVD(ideal, routed); d > 1e-9 {
+				t.Fatalf("trial %d: routing broke semantics (TVD %v)", trial, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package zne implements zero-noise extrapolation, the expectation-value
+// error-mitigation technique used as an additional comparator for HAMMER on
+// variational workloads. Where HAMMER reconstructs the output *distribution*,
+// ZNE amplifies noise by unitary folding (U -> U (U† U)^k) and extrapolates
+// the measured expectation back to the zero-noise limit. The two are
+// complementary: ZNE improves E[C] estimates but cannot tell which individual
+// bitstring is the answer.
+package zne
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/quantum"
+)
+
+// Fold returns the circuit U (U† U)^k, which is logically equivalent to U
+// but has (2k+1) times the gate count, amplifying hardware noise by roughly
+// that factor. k = 0 returns a copy of the circuit.
+func Fold(c *quantum.Circuit, k int) *quantum.Circuit {
+	if k < 0 {
+		panic(fmt.Sprintf("zne: negative fold count %d", k))
+	}
+	out := quantum.NewCircuit(c.NumQubits()).Compose(c)
+	inv := c.Inverse()
+	for i := 0; i < k; i++ {
+		out.Compose(inv).Compose(c)
+	}
+	return out
+}
+
+// ScaleOf returns the noise-scale factor of a k-fold circuit: 2k+1.
+func ScaleOf(k int) float64 { return float64(2*k + 1) }
+
+// Executor produces the measured distribution of a circuit on the backend
+// being mitigated.
+type Executor func(*quantum.Circuit) *dist.Dist
+
+// Observable maps a measured distribution to a scalar expectation value.
+type Observable func(*dist.Dist) float64
+
+// Extrapolate fits a least-squares polynomial of the given degree to
+// (scale, value) samples and returns its value at scale 0 (the Richardson
+// zero-noise estimate). Degree 1 is the standard linear extrapolation;
+// degree must be < len(scales).
+func Extrapolate(scales, values []float64, degree int) float64 {
+	if len(scales) != len(values) {
+		panic(fmt.Sprintf("zne: %d scales vs %d values", len(scales), len(values)))
+	}
+	if degree < 1 || degree >= len(scales) {
+		panic(fmt.Sprintf("zne: degree %d needs at least %d samples, got %d",
+			degree, degree+1, len(scales)))
+	}
+	coef := polyfit(scales, values, degree)
+	return coef[0] // value at x = 0 is the constant term
+}
+
+// Mitigate runs the full ZNE pipeline: execute the circuit at fold counts
+// `folds`, evaluate the observable at each noise scale, and extrapolate to
+// zero noise with a linear fit.
+func Mitigate(c *quantum.Circuit, exec Executor, obs Observable, folds []int) float64 {
+	if len(folds) < 2 {
+		panic(fmt.Sprintf("zne: need at least 2 fold counts, got %d", len(folds)))
+	}
+	scales := make([]float64, len(folds))
+	values := make([]float64, len(folds))
+	for i, k := range folds {
+		scales[i] = ScaleOf(k)
+		values[i] = obs(exec(Fold(c, k)))
+	}
+	return Extrapolate(scales, values, 1)
+}
+
+// polyfit solves the least-squares polynomial fit via normal equations with
+// Gaussian elimination (degree is tiny, so conditioning is acceptable).
+// Returns coefficients [c0, c1, ..., cDegree].
+func polyfit(xs, ys []float64, degree int) []float64 {
+	m := degree + 1
+	// Normal matrix A[i][j] = sum x^(i+j); rhs b[i] = sum y x^i.
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, m)
+	}
+	for k := range xs {
+		xp := make([]float64, 2*m-1)
+		xp[0] = 1
+		for p := 1; p < len(xp); p++ {
+			xp[p] = xp[p-1] * xs[k]
+		}
+		for i := 0; i < m; i++ {
+			b[i] += ys[k] * xp[i]
+			for j := 0; j < m; j++ {
+				a[i][j] += xp[i+j]
+			}
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < m; col++ {
+		pivot := col
+		for r := col + 1; r < m; r++ {
+			if abs(a[r][col]) > abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		if abs(a[col][col]) < 1e-12 {
+			panic("zne: singular normal equations (duplicate scales?)")
+		}
+		for r := col + 1; r < m; r++ {
+			f := a[r][col] / a[col][col]
+			for cc := col; cc < m; cc++ {
+				a[r][cc] -= f * a[col][cc]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	coef := make([]float64, m)
+	for i := m - 1; i >= 0; i-- {
+		coef[i] = b[i]
+		for j := i + 1; j < m; j++ {
+			coef[i] -= a[i][j] * coef[j]
+		}
+		coef[i] /= a[i][i]
+	}
+	return coef
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

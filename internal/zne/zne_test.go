@@ -1,0 +1,114 @@
+package zne
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/noise"
+	"repro/internal/qaoa"
+	"repro/internal/quantum"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFoldPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := quantum.NewCircuit(4)
+	for i := 0; i < 20; i++ {
+		q := rng.Intn(4)
+		switch rng.Intn(3) {
+		case 0:
+			c.H(q)
+		case 1:
+			c.RY(q, rng.Float64())
+		default:
+			c.CX(q, (q+1)%4)
+		}
+	}
+	base := quantum.Run(c).Probabilities()
+	for k := 0; k <= 2; k++ {
+		folded := Fold(c, k)
+		if folded.Len() != (2*k+1)*c.Len() {
+			t.Errorf("k=%d: gate count %d, want %d", k, folded.Len(), (2*k+1)*c.Len())
+		}
+		p := quantum.Run(folded).Probabilities()
+		if d := dist.TVDVector(base, p); d > 1e-9 {
+			t.Errorf("k=%d: folding changed semantics, TVD %v", k, d)
+		}
+	}
+}
+
+func TestScaleOf(t *testing.T) {
+	if ScaleOf(0) != 1 || ScaleOf(1) != 3 || ScaleOf(2) != 5 {
+		t.Error("scale factors wrong")
+	}
+}
+
+func TestExtrapolateExactLinear(t *testing.T) {
+	// y = 7 - 2x: intercept 7.
+	scales := []float64{1, 3, 5}
+	values := []float64{5, 1, -3}
+	if got := Extrapolate(scales, values, 1); !almostEq(got, 7, 1e-9) {
+		t.Errorf("linear extrapolation = %v, want 7", got)
+	}
+}
+
+func TestExtrapolateQuadratic(t *testing.T) {
+	// y = 2 + x - 0.5 x^2 at x = 1,3,5,7.
+	f := func(x float64) float64 { return 2 + x - 0.5*x*x }
+	scales := []float64{1, 3, 5, 7}
+	values := make([]float64, len(scales))
+	for i, x := range scales {
+		values[i] = f(x)
+	}
+	if got := Extrapolate(scales, values, 2); !almostEq(got, 2, 1e-6) {
+		t.Errorf("quadratic extrapolation = %v, want 2", got)
+	}
+}
+
+func TestMitigateRecoversExpectation(t *testing.T) {
+	// QAOA on a ring through a Sycamore-like device: the ZNE estimate of
+	// E[C] must land closer to the ideal value than the raw noisy one.
+	g := graph.Ring(6)
+	params := qaoa.StandardParams(1)
+	c := qaoa.Build(g, params)
+	dev := noise.SycamoreLike()
+	exec := func(cc *quantum.Circuit) *dist.Dist {
+		return noise.ExecuteDist(cc, dev, 3)
+	}
+	obs := func(d *dist.Dist) float64 { return qaoa.Expectation(d, g) }
+
+	ideal := qaoa.Expectation(qaoa.IdealDist(g, params), g)
+	raw := obs(exec(c))
+	zne := Mitigate(c, exec, obs, []int{0, 1, 2})
+	if math.Abs(zne-ideal) >= math.Abs(raw-ideal) {
+		t.Errorf("ZNE %v not closer to ideal %v than raw %v", zne, ideal, raw)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := quantum.NewCircuit(2).H(0)
+	for name, fn := range map[string]func(){
+		"negative fold": func() { Fold(c, -1) },
+		"length":        func() { Extrapolate([]float64{1}, []float64{1, 2}, 1) },
+		"degree high":   func() { Extrapolate([]float64{1, 3}, []float64{1, 2}, 2) },
+		"degree zero":   func() { Extrapolate([]float64{1, 3}, []float64{1, 2}, 0) },
+		"few folds": func() {
+			Mitigate(c, func(*quantum.Circuit) *dist.Dist { return nil },
+				func(*dist.Dist) float64 { return 0 }, []int{0})
+		},
+		"dup scales": func() { Extrapolate([]float64{3, 3, 3}, []float64{1, 2, 3}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
