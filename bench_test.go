@@ -148,6 +148,30 @@ func syntheticDist(n, uniqueOutcomes int, seed int64) *dist.Dist {
 	return d.Normalize()
 }
 
+// BenchmarkReconstruct compares the scoring engines head to head on the
+// workload the bucketed index targets: a wide (20-bit), low-support (2000
+// unique outcomes) histogram, at the paper's default radius and at a tight
+// radius where weight-bucket pruning bites hardest. The acceptance bar for
+// the bucketed engine is >= 2x over exact on this shape.
+func BenchmarkReconstruct(b *testing.B) {
+	d := syntheticDist(20, 2000, 42)
+	for _, engine := range []string{core.EngineExact, core.EngineBucketed} {
+		for _, radius := range []int{0, 4} {
+			label := fmt.Sprintf("%d", radius)
+			if radius == 0 {
+				label = fmt.Sprintf("default(%d)", core.DefaultRadius(20))
+			}
+			name := fmt.Sprintf("engine=%s/radius=%s", engine, label)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					core.Reconstruct(d, core.Options{Engine: engine, Radius: radius})
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkHammerScaling measures the O(N²) reconstruction across unique-
 // outcome counts (Table 3's independent variable). The paper reports 56 s
 // for ~20K outcomes in single-threaded Python; the Go engine covers the same

@@ -5,6 +5,7 @@
 //
 //	echo '{"111": 30, "101": 40, "011": 20, "001": 10}' | hammerctl
 //	hammerctl -in results.json -radius 2 -weights exp-decay
+//	hammerctl -in wide.json -engine bucketed -topm 4096
 package main
 
 import (
@@ -24,6 +25,8 @@ func main() {
 	weights := flag.String("weights", "inverse-chs", "weight scheme: inverse-chs, uniform, exp-decay")
 	noFilter := flag.Bool("no-filter", false, "disable the lower-probability-neighbor filter")
 	workers := flag.Int("workers", 0, "parallel workers (0 = all CPUs)")
+	topM := flag.Int("topm", 0, "score only the M most probable outcomes (0 = all)")
+	engine := flag.String("engine", "auto", "scoring engine: auto, exact, bucketed")
 	top := flag.Int("top", 0, "also print the top-K outcomes to stderr")
 	flag.Parse()
 
@@ -36,6 +39,8 @@ func main() {
 		Weights:       *weights,
 		DisableFilter: *noFilter,
 		Workers:       *workers,
+		TopM:          *topM,
+		Engine:        *engine,
 	})
 	if err != nil {
 		fatal(err)

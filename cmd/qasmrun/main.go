@@ -32,6 +32,7 @@ func main() {
 	shots := flag.Int("shots", 8192, "trials (0 = infinite-shot limit)")
 	seed := flag.Int64("seed", 1, "noise/sampling seed")
 	applyHammer := flag.Bool("hammer", false, "post-process with HAMMER")
+	engine := flag.String("engine", "auto", "HAMMER scoring engine: auto, exact, bucketed")
 	correct := flag.String("correct", "", "known correct outcome (enables PST/IST/EHD report on stderr)")
 	route := flag.Bool("route", true, "route onto a heavy-hex-like coupling before execution")
 	flag.Parse()
@@ -59,7 +60,10 @@ func main() {
 		out = out.Sample(rand.New(rand.NewSource(*seed+1)), *shots).Dist()
 	}
 	if *applyHammer {
-		out = core.Run(out)
+		if err := core.ValidateEngine(*engine); err != nil {
+			fatal(err)
+		}
+		out = core.Reconstruct(out, core.Options{Engine: *engine}).Out
 	}
 
 	n := circuit.NumQubits()

@@ -44,8 +44,19 @@ type Config struct {
 	// DisableFilter drops the lower-probability-neighbors-only filter
 	// (ablation).
 	DisableFilter bool
-	// Workers bounds parallelism of the O(N²) scoring loop (0 = all CPUs).
+	// Workers bounds parallelism of the pairwise scoring scan (0 = all
+	// CPUs).
 	Workers int
+	// TopM, when positive, truncates the pairwise work to the M most
+	// probable outcomes; the tail scores as isolated (L(x) = Pr(x)²).
+	// This bounds runtime at O(M²) on histograms with very long tails.
+	// Zero (the default) scores every outcome.
+	TopM int
+	// Engine selects the scoring engine: "auto" (default — pick by
+	// support size), "exact" (the reference O(N²) loop), or "bucketed"
+	// (the popcount-bucketed index engine). Both engines produce the same
+	// reconstruction up to float64 rounding.
+	Engine string
 }
 
 func (c Config) options() (core.Options, error) {
@@ -53,6 +64,8 @@ func (c Config) options() (core.Options, error) {
 		Radius:        c.Radius,
 		DisableFilter: c.DisableFilter,
 		Workers:       c.Workers,
+		TopM:          c.TopM,
+		Engine:        c.Engine,
 	}
 	switch c.Weights {
 	case "", "inverse-chs":
@@ -64,8 +77,14 @@ func (c Config) options() (core.Options, error) {
 	default:
 		return opts, fmt.Errorf("hammer: unknown weight scheme %q", c.Weights)
 	}
+	if err := core.ValidateEngine(c.Engine); err != nil {
+		return opts, fmt.Errorf("hammer: %w", err)
+	}
 	if c.Radius < 0 {
 		return opts, fmt.Errorf("hammer: negative radius %d", c.Radius)
+	}
+	if c.TopM < 0 {
+		return opts, fmt.Errorf("hammer: negative TopM %d", c.TopM)
 	}
 	return opts, nil
 }

@@ -78,6 +78,64 @@ func TestRunWithConfigSchemes(t *testing.T) {
 	}
 }
 
+func TestRunWithConfigEngines(t *testing.T) {
+	in := noisyBV()
+	base, err := RunWithConfig(in, Config{Engine: "exact"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []string{"", "auto", "bucketed"} {
+		out, err := RunWithConfig(in, Config{Engine: e})
+		if err != nil {
+			t.Fatalf("engine %q: %v", e, err)
+		}
+		for k, p := range base {
+			if !almostEq(out[k], p, 1e-12) {
+				t.Fatalf("engine %q diverges on %s: %v vs %v", e, k, out[k], p)
+			}
+		}
+	}
+	if _, err := RunWithConfig(in, Config{Engine: "fpga"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestRunWithConfigTopM(t *testing.T) {
+	in := noisyBV()
+	full, err := RunWithConfig(in, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TopM >= support reproduces the exact algorithm through the facade.
+	capped, err := RunWithConfig(in, Config{TopM: len(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, p := range full {
+		if !almostEq(capped[k], p, 1e-12) {
+			t.Fatalf("TopM=N diverges on %s: %v vs %v", k, capped[k], p)
+		}
+	}
+	// Truncation keeps the histogram support and unit mass.
+	trunc, err := RunWithConfig(in, Config{TopM: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trunc) != len(in) {
+		t.Fatalf("TopM truncation dropped outcomes: %d vs %d", len(trunc), len(in))
+	}
+	var mass float64
+	for _, p := range trunc {
+		mass += p
+	}
+	if !almostEq(mass, 1, 1e-12) {
+		t.Fatalf("truncated mass %v", mass)
+	}
+	if _, err := RunWithConfig(in, Config{TopM: -1}); err == nil {
+		t.Error("negative TopM accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := map[string]map[string]float64{
 		"empty":       {},

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/dist"
+)
+
+// bucketedEngine computes Algorithm 1 through the popcount-bucketed index of
+// the dist package. Two structural changes make it faster than the exact
+// reference while producing the same reconstruction up to float64 rounding:
+//
+//   - Pruning: |popcount(x) - popcount(y)| <= d(x,y), so a pair whose
+//     Hamming weights differ by more than the radius can never be admitted.
+//     Outcomes are bucketed by weight and each row scans only the 2·maxD+1
+//     buckets the triangle inequality allows. The narrower the radius, the
+//     larger the skipped fraction.
+//
+//   - Fusion: the exact engine walks all pairs twice — once to accumulate
+//     the global CHS (step 1) and once to score neighborhoods against the
+//     finished weight vector (step 3). But a neighborhood score is linear in
+//     the per-distance weights: S(x) = Pr(x) + Σ_d W[d]·A[x][d], where
+//     A[x][d] is the admitted neighborhood strength of x at distance d. The
+//     bucketed engine accumulates A and the global CHS together in one
+//     triangular pass over unordered pairs, then applies the weights after
+//     the fact, halving the number of Hamming-distance evaluations.
+//
+// The pass walks outcomes in descending probability (the index's rank
+// order). For a pair (i, j) with rank i < j, only the higher-probability
+// side i can receive filtered credit, so each worker writes only the A-rows
+// of the ranks it owns — no synchronization needed. The DisableFilter
+// ablation credits both sides, so that (rare) path keeps per-worker A slabs
+// and reduces them afterwards.
+type bucketedEngine struct{}
+
+func (bucketedEngine) Name() string { return EngineBucketed }
+
+func (bucketedEngine) Score(p *Problem) ([]float64, []float64, []float64) {
+	N := len(p.Outs)
+	maxD := p.MaxD
+	stride := maxD + 1
+	workers := p.Workers
+	if workers > N {
+		workers = N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	entries := make([]dist.Entry, N)
+	for i := range entries {
+		entries[i] = dist.Entry{X: p.Outs[i], P: p.Probs[i]}
+	}
+	ix := dist.NewIndexOf(p.NumBits, entries)
+	ranked := ix.Ranked()
+
+	// A[r*stride+d] is the admitted neighborhood strength of the rank-r
+	// outcome at distance d. With the filter on, row r is written only by
+	// the worker that owns rank r; the ablation path uses one slab per
+	// worker instead and reduces below.
+	shared := !p.DisableFilter || workers == 1
+	var acc []float64
+	slabs := make([][]float64, workers)
+	if shared {
+		acc = make([]float64, N*stride)
+	}
+	chsPartial := make([][]float64, workers)
+	parallelStride(N, workers, func(wk, start, wstride int) {
+		local := make([]float64, stride)
+		rows := acc
+		if !shared {
+			rows = make([]float64, N*stride)
+			slabs[wk] = rows
+		}
+		for i := start; i < N; i += wstride {
+			e := ranked[i]
+			// Self pair: d=0 contributes P(x) once per x.
+			local[0] += e.P
+			row := rows[i*stride : i*stride+stride]
+			ix.RangePairsAfter(e, maxD, func(f dist.IndexEntry, d int) {
+				local[d] += e.P + f.P
+				if p.DisableFilter {
+					row[d] += f.P
+					rows[f.Rank*stride+d] += e.P
+				} else if f.P < e.P {
+					// Ranks below i hold strictly lower probability or
+					// equal probability (no credit either way), so the
+					// admitted set is exactly {f : P(f) < P(e)}.
+					row[d] += f.P
+				}
+			})
+		}
+		chsPartial[wk] = local
+	})
+
+	chs := make([]float64, stride)
+	for _, local := range chsPartial {
+		if local == nil {
+			continue
+		}
+		for d, v := range local {
+			chs[d] += v
+		}
+	}
+	if !shared {
+		acc = slabs[0]
+		for _, slab := range slabs[1:] {
+			if slab == nil {
+				continue
+			}
+			for i, v := range slab {
+				acc[i] += v
+			}
+		}
+	}
+
+	w := weights(chs, maxD, p.Scheme)
+
+	scores := make([]float64, N)
+	for r := range ranked {
+		e := &ranked[r]
+		s := e.P
+		row := acc[r*stride : r*stride+stride]
+		for d := 0; d <= maxD; d++ {
+			s += w[d] * row[d]
+		}
+		scores[e.Ord] = s * e.P
+	}
+	return chs, w, scores
+}

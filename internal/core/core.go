@@ -12,13 +12,20 @@
 // at Hamming distance < n/2, and a filter admits only neighbors with lower
 // probability than x so that spurious low-probability outcomes cannot profit
 // from rich neighborhoods. The reconstructed distribution is L normalized.
+//
+// The pairwise scan that dominates the cost is delegated to a pluggable
+// Engine (engine.go): "exact" is the reference O(N²) loop matching
+// Algorithm 1 line by line, "bucketed" computes the same quantities through
+// the popcount-bucketed index of the dist package in a single merged
+// triangular pass. Both produce identical reconstructions up to float64
+// rounding; selection is automatic by support size unless Options.Engine
+// pins one.
 package core
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/bitstr"
 	"repro/internal/dist"
@@ -68,18 +75,24 @@ type Options struct {
 	// credit" filter of §4.4 (ablation).
 	DisableFilter bool
 
-	// Workers bounds the parallelism of the O(N²) scoring loop. Zero uses
-	// GOMAXPROCS. One gives the exact single-threaded reference behavior
-	// (results are identical either way; scoring is read-only).
+	// Workers bounds the parallelism of the pairwise scoring scan. Zero
+	// uses GOMAXPROCS. One gives the exact single-threaded reference
+	// behavior (results are identical either way; scoring is read-only).
 	Workers int
 
-	// TopM, when positive, truncates the O(N²) pairwise work to the M most
+	// TopM, when positive, truncates the pairwise work to the M most
 	// probable outcomes: CHS accumulation and neighborhood scoring run
 	// over that subset only, while tail outcomes score as if isolated
 	// (L(x) = Pr(x)², exactly Algorithm 1's behavior for an outcome with
 	// no admitted neighbors). This bounds runtime at O(M²) for histograms
 	// with very long tails; TopM >= N reproduces the exact algorithm.
 	TopM int
+
+	// Engine selects the pairwise scoring engine: EngineAuto (or empty)
+	// picks by support size, EngineExact forces the reference O(N²) loop,
+	// EngineBucketed forces the popcount-bucketed index engine. Unknown
+	// names panic; the public facade validates them into errors.
+	Engine string
 }
 
 // DefaultRadius returns the largest Hamming distance admitted by the paper's
@@ -120,6 +133,8 @@ type Result struct {
 	Weights []float64
 	// Radius is the maximum admitted Hamming distance actually used.
 	Radius int
+	// Engine names the scoring engine that ran ("exact" or "bucketed").
+	Engine string
 }
 
 // Reconstruct applies HAMMER with the given options and returns the full
@@ -136,34 +151,15 @@ func Reconstruct(in *dist.Dist, opts Options) *Result {
 	if N == 0 {
 		panic("core: cannot reconstruct empty distribution")
 	}
-	workers := opts.workers()
-
-	// Step 1: accumulate the global CHS over all ordered outcome pairs.
-	chs := globalCHS(outs, probs, maxD, workers)
-
-	// Step 2: per-distance weights.
-	w := weights(chs, maxD, opts.Weights)
-
-	// Step 3: per-outcome neighborhood score and likelihood.
-	scores := make([]float64, N)
-	parallelRange(N, workers, func(_, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			x, px := outs[i], probs[i]
-			score := px
-			for j := 0; j < N; j++ {
-				if j == i {
-					continue
-				}
-				py := probs[j]
-				if !opts.DisableFilter && px <= py {
-					continue
-				}
-				if d := bitstr.Distance(x, outs[j]); d <= maxD {
-					score += w[d] * py
-				}
-			}
-			scores[i] = score * px
-		}
+	eng := engineFor(opts.Engine, N)
+	chs, w, scores := eng.Score(&Problem{
+		NumBits:       n,
+		Outs:          outs,
+		Probs:         probs,
+		MaxD:          maxD,
+		Scheme:        opts.Weights,
+		DisableFilter: opts.DisableFilter,
+		Workers:       opts.workers(),
 	})
 
 	out := dist.New(n)
@@ -175,7 +171,7 @@ func Reconstruct(in *dist.Dist, opts Options) *Result {
 		out.Set(e.X, e.P*e.P)
 	}
 	out.Normalize()
-	return &Result{Out: out, GlobalCHS: chs, Weights: w, Radius: maxD}
+	return &Result{Out: out, GlobalCHS: chs, Weights: w, Radius: maxD, Engine: eng.Name()}
 }
 
 // Run is the convenience form of Reconstruct: default options, returning
@@ -217,37 +213,8 @@ func flattenTop(d *dist.Dist, topM int) ([]bitstr.Bits, []float64, []dist.Entry)
 	return outs, probs, tail
 }
 
-// globalCHS computes CHS[d] = sum over ordered pairs (x,y) with
-// d(x,y) = d <= maxD of P(y). The accumulation over unordered pairs
-// contributes P(x)+P(y) once, halving the pair loop.
-func globalCHS(outs []bitstr.Bits, probs []float64, maxD, workers int) []float64 {
-	N := len(outs)
-	partial := make([][]float64, workers)
-	parallelRange(N, workers, func(w, lo, hi int) {
-		local := make([]float64, maxD+1)
-		for i := lo; i < hi; i++ {
-			// Self pair: d=0 contributes P(x) once per x.
-			local[0] += probs[i]
-			for j := i + 1; j < N; j++ {
-				if d := bitstr.Distance(outs[i], outs[j]); d <= maxD {
-					local[d] += probs[i] + probs[j]
-				}
-			}
-		}
-		partial[w] = local
-	})
-	chs := make([]float64, maxD+1)
-	for _, local := range partial {
-		if local == nil {
-			continue
-		}
-		for d, v := range local {
-			chs[d] += v
-		}
-	}
-	return chs
-}
-
+// weights derives the per-distance weight vector from the global CHS
+// (Algorithm 1, step 2). Both engines share it.
 func weights(chs []float64, maxD int, scheme WeightScheme) []float64 {
 	w := make([]float64, maxD+1)
 	for d := 0; d <= maxD; d++ {
@@ -265,42 +232,4 @@ func weights(chs []float64, maxD int, scheme WeightScheme) []float64 {
 		}
 	}
 	return w
-}
-
-// parallelRange splits [0,n) into one contiguous chunk per worker and blocks
-// until every chunk has been processed. The callback receives the worker
-// index so callers can keep per-worker accumulators without locking.
-//
-// Note for the CHS accumulation: chunks are contiguous so the triangular
-// inner loop gives earlier workers more pairs; this is acceptable because the
-// dominant cost (step 3) is uniform per outcome.
-func parallelRange(n, workers int, fn func(worker, lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
 }

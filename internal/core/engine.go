@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bitstr"
+)
+
+// Engine names accepted by Options.Engine and the public facade.
+const (
+	// EngineAuto (or the empty string) selects the engine by support
+	// size: small problems run the reference loop, everything else the
+	// bucketed index.
+	EngineAuto = "auto"
+	// EngineExact is the reference O(N²) double loop, a line-by-line
+	// transcription of Algorithm 1.
+	EngineExact = "exact"
+	// EngineBucketed computes the same quantities through the
+	// popcount-bucketed index in one merged triangular pass.
+	EngineBucketed = "bucketed"
+)
+
+// autoEngineThreshold is the support size at which auto-selection switches
+// from the exact reference loop to the bucketed index engine. Below it the
+// index build overhead outweighs the pruned scan.
+const autoEngineThreshold = 64
+
+// Problem is one flattened reconstruction instance handed to an Engine:
+// the unique outcomes in deterministic ascending order, their probabilities,
+// and the resolved scoring options.
+type Problem struct {
+	NumBits       int
+	Outs          []bitstr.Bits
+	Probs         []float64
+	MaxD          int
+	Scheme        WeightScheme
+	DisableFilter bool
+	Workers       int
+}
+
+// Engine computes the three per-reconstruction quantities of Algorithm 1
+// over a flattened problem: the global CHS vector (step 1), the per-distance
+// weights (step 2), and the per-outcome likelihoods L(x) = Pr(x)·S(x)
+// (step 3), aligned with Problem.Outs. Implementations must be
+// deterministic for a fixed worker count and must agree with the exact
+// engine up to float64 rounding.
+type Engine interface {
+	Name() string
+	Score(p *Problem) (chs, w, scores []float64)
+}
+
+// EngineNames lists the accepted Options.Engine values.
+func EngineNames() []string {
+	return []string{EngineAuto, EngineExact, EngineBucketed}
+}
+
+// ValidateEngine reports whether name is an accepted Options.Engine value
+// (the empty string selects auto). Facades and CLIs share it so the accepted
+// list lives in one place.
+func ValidateEngine(name string) error {
+	switch name {
+	case "", EngineAuto, EngineExact, EngineBucketed:
+		return nil
+	default:
+		return fmt.Errorf("unknown engine %q (want one of %v)", name, EngineNames())
+	}
+}
+
+// engineFor resolves an engine name, applying auto-selection over the
+// support size n. Unknown names panic; the facade validates user input.
+func engineFor(name string, n int) Engine {
+	switch name {
+	case "", EngineAuto:
+		if n >= autoEngineThreshold {
+			return bucketedEngine{}
+		}
+		return exactEngine{}
+	case EngineExact:
+		return exactEngine{}
+	case EngineBucketed:
+		return bucketedEngine{}
+	default:
+		panic(fmt.Sprintf("core: unknown engine %q", name))
+	}
+}
+
+// parallelRange splits [0,n) into one contiguous chunk per worker and blocks
+// until every chunk has been processed. The callback receives the worker
+// index so callers can keep per-worker accumulators without locking. Use it
+// for loops whose per-index cost is uniform; triangular loops need
+// parallelStride.
+func parallelRange(n, workers int, fn func(worker, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelStride assigns indices to workers round-robin — worker w handles
+// every index i with i ≡ w (mod stride) — and blocks until all are done.
+// Interleaving balances triangular loops, where the work attached to index i
+// shrinks linearly in i: contiguous chunking would give the first worker
+// quadratically more pairs than the last.
+func parallelStride(n, workers int, fn func(worker, start, stride int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, 1)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fn(w, w, workers)
+		}(w)
+	}
+	wg.Wait()
+}

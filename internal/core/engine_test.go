@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// goldenDist builds a randomized histogram shaped like real measured output:
+// a cluster of flips around a random key plus a uniform tail, over an n-bit
+// space.
+func goldenDist(n int, seed int64) *dist.Dist {
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.New(n)
+	key := bitstr.Bits(rng.Intn(1 << uint(n)))
+	d.Add(key, 0.1+0.1*rng.Float64())
+	for i := 0; i < n; i++ {
+		d.Add(bitstr.Flip(key, i), 0.01+0.03*rng.Float64())
+	}
+	support := 1 << uint(n)
+	tail := support / 4
+	if tail > 400 {
+		tail = 400
+	}
+	for i := 0; i < tail; i++ {
+		d.Add(bitstr.Bits(rng.Intn(support)), 0.002*rng.Float64())
+	}
+	return d.Normalize()
+}
+
+// TestEnginesAgree is the cross-engine golden test: the exact reference loop
+// and the bucketed index engine must produce the same reconstruction within
+// 1e-12 — and the byte-identical top-1 outcome — on randomized histograms
+// across every width from 4 to 16 bits, with and without parallelism.
+func TestEnginesAgree(t *testing.T) {
+	for n := 4; n <= 16; n++ {
+		for _, workers := range []int{1, 4} {
+			seed := int64(n*100 + workers)
+			in := goldenDist(n, seed)
+			ex := Reconstruct(in, Options{Engine: EngineExact, Workers: workers})
+			bu := Reconstruct(in, Options{Engine: EngineBucketed, Workers: workers})
+			if ex.Engine != EngineExact || bu.Engine != EngineBucketed {
+				t.Fatalf("n=%d: engines reported %q/%q", n, ex.Engine, bu.Engine)
+			}
+			if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
+				t.Fatalf("n=%d workers=%d: engine TVD %v", n, workers, d)
+			}
+			ex.Out.Range(func(x bitstr.Bits, p float64) {
+				if diff := p - bu.Out.Prob(x); diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("n=%d: outcome %b differs: %v vs %v", n, x, p, bu.Out.Prob(x))
+				}
+			})
+			for k := range ex.GlobalCHS {
+				if !almostEq(ex.GlobalCHS[k], bu.GlobalCHS[k], 1e-9) {
+					t.Fatalf("n=%d: CHS[%d] %v vs %v", n, k, ex.GlobalCHS[k], bu.GlobalCHS[k])
+				}
+			}
+			if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
+				t.Fatalf("n=%d workers=%d: top-1 differs: %b vs %b", n, workers, a, b)
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeAcrossOptions sweeps the option surface the engines must
+// agree under: explicit radii, every weight scheme, the filter ablation
+// (which exercises the bucketed engine's slab path), and TopM truncation.
+func TestEnginesAgreeAcrossOptions(t *testing.T) {
+	in := goldenDist(12, 9)
+	cases := []Options{
+		{Radius: 1},
+		{Radius: 3},
+		{Radius: 12},
+		{Weights: UniformWeight},
+		{Weights: ExpDecay, Radius: 5},
+		{DisableFilter: true, Workers: 1},
+		{DisableFilter: true, Workers: 8},
+		{TopM: 40},
+		{TopM: 40, DisableFilter: true, Workers: 4},
+	}
+	for i, opts := range cases {
+		exOpts, buOpts := opts, opts
+		exOpts.Engine = EngineExact
+		buOpts.Engine = EngineBucketed
+		ex := Reconstruct(in, exOpts)
+		bu := Reconstruct(in, buOpts)
+		if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
+			t.Fatalf("case %d (%+v): engine TVD %v", i, opts, d)
+		}
+		if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
+			t.Fatalf("case %d (%+v): top-1 differs: %b vs %b", i, opts, a, b)
+		}
+	}
+}
+
+// TestEngineAutoSelection pins the auto rule: small supports take the exact
+// reference loop, large supports the bucketed index.
+func TestEngineAutoSelection(t *testing.T) {
+	small := goldenDist(4, 3) // support <= 16 < threshold
+	if small.Len() >= autoEngineThreshold {
+		t.Fatalf("test premise broken: small support %d", small.Len())
+	}
+	for _, name := range []string{"", EngineAuto} {
+		if res := Reconstruct(small, Options{Engine: name}); res.Engine != EngineExact {
+			t.Fatalf("engine %q on N=%d picked %q", name, small.Len(), res.Engine)
+		}
+	}
+	large := goldenDist(12, 4)
+	if large.Len() < autoEngineThreshold {
+		t.Fatalf("test premise broken: large support %d", large.Len())
+	}
+	if res := Reconstruct(large, Options{}); res.Engine != EngineBucketed {
+		t.Fatalf("auto on N=%d picked %q", large.Len(), res.Engine)
+	}
+	// Pinning works in both directions regardless of size.
+	if res := Reconstruct(large, Options{Engine: EngineExact}); res.Engine != EngineExact {
+		t.Fatalf("pinned exact ran %q", res.Engine)
+	}
+	if res := Reconstruct(small, Options{Engine: EngineBucketed}); res.Engine != EngineBucketed {
+		t.Fatalf("pinned bucketed ran %q", res.Engine)
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names := EngineNames()
+	if len(names) != 3 || names[0] != EngineAuto || names[1] != EngineExact || names[2] != EngineBucketed {
+		t.Fatalf("EngineNames = %v", names)
+	}
+}
+
+func TestUnknownEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Reconstruct(fig4Example(), Options{Engine: "quantum-annealer"})
+}
+
+// TestBucketedWorkerCountInvariance: the bucketed engine's row-ownership
+// parallelization must give the same result for any worker count.
+func TestBucketedWorkerCountInvariance(t *testing.T) {
+	in := goldenDist(14, 77)
+	ref := Reconstruct(in, Options{Engine: EngineBucketed, Workers: 1})
+	for _, w := range []int{2, 3, 8, 32} {
+		got := Reconstruct(in, Options{Engine: EngineBucketed, Workers: w})
+		if d := dist.TVD(ref.Out, got.Out); d > 1e-12 {
+			t.Fatalf("workers=%d: TVD %v from single-threaded", w, d)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/bitstr"
+)
+
+// exactEngine is the reference implementation: a line-by-line transcription
+// of Algorithm 1. Step 1 accumulates the global CHS over a triangular
+// pairwise loop; step 3 scores every outcome against every other. It is kept
+// verbatim as the semantic baseline the bucketed engine is verified against,
+// and remains the faster choice for small supports.
+type exactEngine struct{}
+
+func (exactEngine) Name() string { return EngineExact }
+
+func (exactEngine) Score(p *Problem) (chs, w, scores []float64) {
+	N := len(p.Outs)
+	workers := p.Workers
+
+	// Step 1: accumulate the global CHS over all ordered outcome pairs.
+	chs = globalCHS(p.Outs, p.Probs, p.MaxD, workers)
+
+	// Step 2: per-distance weights.
+	w = weights(chs, p.MaxD, p.Scheme)
+
+	// Step 3: per-outcome neighborhood score and likelihood.
+	scores = make([]float64, N)
+	outs, probs, maxD := p.Outs, p.Probs, p.MaxD
+	parallelRange(N, workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x, px := outs[i], probs[i]
+			score := px
+			for j := 0; j < N; j++ {
+				if j == i {
+					continue
+				}
+				py := probs[j]
+				if !p.DisableFilter && px <= py {
+					continue
+				}
+				if d := bitstr.Distance(x, outs[j]); d <= maxD {
+					score += w[d] * py
+				}
+			}
+			scores[i] = score * px
+		}
+	})
+	return chs, w, scores
+}
+
+// globalCHS computes CHS[d] = sum over ordered pairs (x,y) with
+// d(x,y) = d <= maxD of P(y). The accumulation over unordered pairs
+// contributes P(x)+P(y) once, halving the pair loop. Rows are dealt to
+// workers round-robin: the triangular inner loop shrinks with i, so strided
+// assignment keeps per-worker pair counts balanced within one row of each
+// other, where contiguous chunks would give the first worker a quadratic
+// share.
+func globalCHS(outs []bitstr.Bits, probs []float64, maxD, workers int) []float64 {
+	N := len(outs)
+	if workers > N {
+		workers = N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	partial := make([][]float64, workers)
+	parallelStride(N, workers, func(w, start, stride int) {
+		local := make([]float64, maxD+1)
+		for i := start; i < N; i += stride {
+			// Self pair: d=0 contributes P(x) once per x.
+			local[0] += probs[i]
+			for j := i + 1; j < N; j++ {
+				if d := bitstr.Distance(outs[i], outs[j]); d <= maxD {
+					local[d] += probs[i] + probs[j]
+				}
+			}
+		}
+		partial[w] = local
+	})
+	chs := make([]float64, maxD+1)
+	for _, local := range partial {
+		if local == nil {
+			continue
+		}
+		for d, v := range local {
+			chs[d] += v
+		}
+	}
+	return chs
+}

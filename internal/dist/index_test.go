@@ -1,0 +1,153 @@
+package dist
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func TestIndexBucketsPartitionByPopcount(t *testing.T) {
+	d := randomDist(t, 10, 300, 21)
+	ix := NewIndex(d)
+	if ix.Len() != d.Len() || ix.NumBits() != d.NumBits() {
+		t.Fatalf("index shape %d/%d vs %d/%d", ix.Len(), ix.NumBits(), d.Len(), d.NumBits())
+	}
+	total := 0
+	for w := 0; w <= ix.NumBits(); w++ {
+		for _, e := range ix.Bucket(w) {
+			if bits.OnesCount64(e.X) != w {
+				t.Fatalf("outcome %b in bucket %d", e.X, w)
+			}
+			if e.W != w {
+				t.Fatalf("entry weight %d in bucket %d", e.W, w)
+			}
+			if d.Prob(e.X) != e.P {
+				t.Fatalf("entry mass %v vs dist %v", e.P, d.Prob(e.X))
+			}
+			total++
+		}
+	}
+	if total != d.Len() {
+		t.Fatalf("buckets hold %d entries, dist has %d", total, d.Len())
+	}
+	if ix.Bucket(-1) != nil || ix.Bucket(ix.NumBits()+1) != nil {
+		t.Fatal("out-of-range bucket not nil")
+	}
+}
+
+func TestIndexRankedOrder(t *testing.T) {
+	d := New(4)
+	d.Set(0b0001, 0.3)
+	d.Set(0b1000, 0.3) // tie with 0001: ascending outcome breaks it
+	d.Set(0b1111, 0.4)
+	ix := NewIndex(d)
+	ranked := ix.Ranked()
+	want := []bitstr.Bits{0b1111, 0b0001, 0b1000}
+	for i, x := range want {
+		if ranked[i].X != x || ranked[i].Rank != i {
+			t.Fatalf("ranked[%d] = {%04b rank %d}, want %04b", i, ranked[i].X, ranked[i].Rank, x)
+		}
+	}
+	// Ord maps back to the ascending-outcome enumeration.
+	outs := d.Outcomes()
+	for _, e := range ranked {
+		if outs[e.Ord] != e.X {
+			t.Fatalf("Ord %d of %04b maps to %04b", e.Ord, e.X, outs[e.Ord])
+		}
+	}
+}
+
+func TestIndexAfterSuffixes(t *testing.T) {
+	d := randomDist(t, 8, 120, 31)
+	ix := NewIndex(d)
+	for w := 0; w <= 8; w++ {
+		b := ix.Bucket(w)
+		for _, rank := range []int{-1, 0, 5, 60, 119, 200} {
+			got := ix.After(w, rank)
+			wantFrom := 0
+			for wantFrom < len(b) && b[wantFrom].Rank <= rank {
+				wantFrom++
+			}
+			if len(got) != len(b)-wantFrom {
+				t.Fatalf("After(%d,%d) len %d, want %d", w, rank, len(got), len(b)-wantFrom)
+			}
+			for _, e := range got {
+				if e.Rank <= rank {
+					t.Fatalf("After(%d,%d) returned rank %d", w, rank, e.Rank)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexRangeBallMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(10)
+		d := randomDist(t, n, 1+rng.Intn(1<<uint(n))/2, int64(trial))
+		ix := NewIndex(d)
+		x := bitstr.Bits(rng.Intn(1 << uint(n)))
+		maxD := rng.Intn(n + 1)
+		got := make(map[bitstr.Bits]int)
+		ix.RangeBall(x, maxD, func(e IndexEntry, dd int) {
+			if dd != bitstr.Distance(x, e.X) {
+				t.Fatalf("reported distance %d, true %d", dd, bitstr.Distance(x, e.X))
+			}
+			got[e.X] = dd
+		})
+		want := 0
+		d.Range(func(y bitstr.Bits, _ float64) {
+			if bitstr.Distance(x, y) <= maxD {
+				want++
+				if _, ok := got[y]; !ok {
+					t.Fatalf("ball missed %b at distance %d", y, bitstr.Distance(x, y))
+				}
+			}
+		})
+		if len(got) != want {
+			t.Fatalf("ball holds %d outcomes, want %d", len(got), want)
+		}
+	}
+}
+
+func TestIndexCHSMatchesDirectScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(8)
+		d := randomDist(t, n, 80, int64(100+trial)).Normalize()
+		ix := NewIndex(d)
+		x := bitstr.Bits(rng.Intn(1 << uint(n)))
+		maxD := 1 + rng.Intn(n)
+		got := ix.CHS(x, maxD)
+		want := make([]float64, maxD+1)
+		d.Range(func(y bitstr.Bits, p float64) {
+			if k := bitstr.Distance(x, y); k <= maxD {
+				want[k] += p
+			}
+		})
+		for k := range want {
+			if !almostEq(got[k], want[k], 1e-12) {
+				t.Fatalf("CHS[%d] = %v, want %v", k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestIndexOfTruncatedEntries(t *testing.T) {
+	// NewIndexOf must accept an explicit (e.g. TopM-truncated) outcome set
+	// whose masses do not sum to one.
+	entries := []Entry{{X: 0b001, P: 0.5}, {X: 0b010, P: 0.1}, {X: 0b100, P: 0.2}}
+	ix := NewIndexOf(3, entries)
+	if ix.Len() != 3 {
+		t.Fatalf("len %d", ix.Len())
+	}
+	ranked := ix.Ranked()
+	if ranked[0].X != 0b001 || ranked[1].X != 0b100 || ranked[2].X != 0b010 {
+		t.Fatalf("rank order %v", ranked)
+	}
+	if ranked[0].Ord != 0 || ranked[1].Ord != 2 || ranked[2].Ord != 1 {
+		t.Fatalf("ord mapping %v", ranked)
+	}
+}

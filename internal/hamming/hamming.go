@@ -2,6 +2,14 @@
 // HAMMER paper (§3): the Hamming spectrum of an output distribution, the
 // Expected Hamming Distance (EHD), and the Cumulative Hamming Strength (CHS)
 // vectors used by the reconstruction algorithm.
+//
+// The quadratic accumulations (AverageCHS, GlobalCHS) and the per-outcome
+// minimum-distance scans (NewSpectrum, EHD) run through the popcount-
+// bucketed dist.Index: weight buckets outside the query radius are skipped
+// wholesale, and |popcount(x)-popcount(c)| lower-bounds each candidate
+// distance so most exact popcounts never execute. Callers analyzing one
+// distribution several ways should build the index once and use the
+// *Indexed variants.
 package hamming
 
 import (
@@ -21,7 +29,9 @@ type Spectrum struct {
 }
 
 // NewSpectrum buckets every outcome of d by its minimum Hamming distance to
-// the set of correct outcomes. The correct set must be non-empty.
+// the set of correct outcomes. The correct set must be non-empty. The scan is
+// linear with the weight-difference lower bound computed inline; callers that
+// already hold an index should use NewSpectrumIndexed.
 func NewSpectrum(d *dist.Dist, correct []bitstr.Bits) *Spectrum {
 	n := d.NumBits()
 	s := &Spectrum{
@@ -29,12 +39,68 @@ func NewSpectrum(d *dist.Dist, correct []bitstr.Bits) *Spectrum {
 		Bins:    make([]float64, n+1),
 		Counts:  make([]int, n+1),
 	}
+	cw := correctWeights(correct)
 	d.Range(func(x bitstr.Bits, p float64) {
-		k := bitstr.MinDistance(x, correct)
+		k := minDistanceWeighted(x, bitstr.Weight(x), correct, cw, n)
 		s.Bins[k] += p
 		s.Counts[k]++
 	})
 	return s
+}
+
+// NewSpectrumIndexed is NewSpectrum over a prebuilt index, letting callers
+// amortize the index across several analyses of the same distribution.
+func NewSpectrumIndexed(ix *dist.Index, correct []bitstr.Bits) *Spectrum {
+	n := ix.NumBits()
+	s := &Spectrum{
+		NumBits: n,
+		Bins:    make([]float64, n+1),
+		Counts:  make([]int, n+1),
+	}
+	cw := correctWeights(correct)
+	for _, e := range ix.Ranked() {
+		k := minDistanceWeighted(e.X, e.W, correct, cw, n)
+		s.Bins[k] += e.P
+		s.Counts[k]++
+	}
+	return s
+}
+
+// correctWeights precomputes the Hamming weight of every correct outcome so
+// minimum-distance scans can use the weight-difference lower bound.
+func correctWeights(correct []bitstr.Bits) []int {
+	if len(correct) == 0 {
+		panic("hamming: empty correct set")
+	}
+	cw := make([]int, len(correct))
+	for i, c := range correct {
+		cw[i] = bitstr.Weight(c)
+	}
+	return cw
+}
+
+// minDistanceWeighted returns the minimum Hamming distance from x (of known
+// Hamming weight wx) to the correct set, skipping candidates whose weight
+// already differs by at least the best distance found so far (the same
+// triangle inequality the bucketed reconstruction engine prunes with).
+func minDistanceWeighted(x bitstr.Bits, wx int, correct []bitstr.Bits, cw []int, n int) int {
+	best := n + 1
+	for i, c := range correct {
+		lb := wx - cw[i]
+		if lb < 0 {
+			lb = -lb
+		}
+		if lb >= best {
+			continue
+		}
+		if d := bitstr.Distance(x, c); d < best {
+			best = d
+			if best == 0 {
+				break
+			}
+		}
+	}
+	return best
 }
 
 // BinAverage returns the average probability of a unique outcome in bin k
@@ -59,10 +125,23 @@ func UniformBinMass(n, k int) float64 {
 // set. EHD is 0 for a noise-free distribution and approaches n/2 for a
 // uniform distribution.
 func EHD(d *dist.Dist, correct []bitstr.Bits) float64 {
+	cw := correctWeights(correct)
+	n := d.NumBits()
 	var e float64
 	d.Range(func(x bitstr.Bits, p float64) {
-		e += p * float64(bitstr.MinDistance(x, correct))
+		e += p * float64(minDistanceWeighted(x, bitstr.Weight(x), correct, cw, n))
 	})
+	return e
+}
+
+// EHDIndexed is EHD over a prebuilt index, reusing its stored weights.
+func EHDIndexed(ix *dist.Index, correct []bitstr.Bits) float64 {
+	cw := correctWeights(correct)
+	n := ix.NumBits()
+	var e float64
+	for _, entry := range ix.Ranked() {
+		e += entry.P * float64(minDistanceWeighted(entry.X, entry.W, correct, cw, n))
+	}
 	return e
 }
 
@@ -91,16 +170,25 @@ func CHS(d *dist.Dist, x bitstr.Bits, maxD int) []float64 {
 
 // AverageCHS computes the probability-weighted average CHS across every
 // outcome in the distribution; this is the "average of all outcomes" curve
-// in Fig. 7b and the basis for HAMMER's per-distance weights. It runs in
-// O(N^2) over the N unique outcomes.
+// in Fig. 7b and the basis for HAMMER's per-distance weights. Pairs outside
+// the weight window are pruned through the popcount buckets, so the cost
+// drops well below the naive O(N²) for small radii.
 func AverageCHS(d *dist.Dist, maxD int) []float64 {
+	return AverageCHSIndexed(dist.NewIndex(d), maxD)
+}
+
+// AverageCHSIndexed is AverageCHS over a prebuilt index.
+func AverageCHSIndexed(ix *dist.Index, maxD int) []float64 {
+	if maxD < 0 {
+		panic(fmt.Sprintf("hamming: negative CHS radius %d", maxD))
+	}
 	avg := make([]float64, maxD+1)
-	d.Range(func(x bitstr.Bits, px float64) {
-		chs := CHS(d, x, maxD)
-		for k, v := range chs {
-			avg[k] += px * v
-		}
-	})
+	for _, e := range ix.Ranked() {
+		px := e.P
+		ix.RangeBall(e.X, maxD, func(f dist.IndexEntry, k int) {
+			avg[k] += px * f.P
+		})
+	}
 	return avg
 }
 
@@ -109,14 +197,23 @@ func AverageCHS(d *dist.Dist, maxD int) []float64 {
 // with Hamming distance k < len of P(y). It differs from AverageCHS by not
 // weighting the outer outcome by its probability.
 func GlobalCHS(d *dist.Dist, maxD int) []float64 {
+	return GlobalCHSIndexed(dist.NewIndex(d), maxD)
+}
+
+// GlobalCHSIndexed is GlobalCHS over a prebuilt index. Each unordered pair
+// is visited once through the bucket suffixes and contributes both of its
+// ordered directions, P(x)+P(y); the self pair contributes P(x) at k = 0.
+func GlobalCHSIndexed(ix *dist.Index, maxD int) []float64 {
+	if maxD < 0 {
+		panic(fmt.Sprintf("hamming: negative CHS radius %d", maxD))
+	}
 	g := make([]float64, maxD+1)
-	d.Range(func(x bitstr.Bits, _ float64) {
-		d.Range(func(y bitstr.Bits, py float64) {
-			if k := bitstr.Distance(x, y); k <= maxD {
-				g[k] += py
-			}
+	for _, e := range ix.Ranked() {
+		g[0] += e.P
+		ix.RangePairsAfter(e, maxD, func(f dist.IndexEntry, k int) {
+			g[k] += e.P + f.P
 		})
-	})
+	}
 	return g
 }
 

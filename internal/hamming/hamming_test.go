@@ -207,6 +207,65 @@ func TestGraph(t *testing.T) {
 	}
 }
 
+func TestIndexedVariantsMatchDirect(t *testing.T) {
+	// One shared index must serve EHD, Spectrum, AverageCHS, and GlobalCHS
+	// with results identical to the one-shot forms.
+	rng := rand.New(rand.NewSource(4))
+	n := 10
+	d := dist.New(n)
+	for i := 0; i < 200; i++ {
+		d.Add(bitstr.Bits(rng.Intn(1<<n)), rng.Float64())
+	}
+	d.Normalize()
+	correct := []bitstr.Bits{bitstr.Bits(rng.Intn(1 << n)), bitstr.Bits(rng.Intn(1 << n))}
+	ix := dist.NewIndex(d)
+
+	// The direct forms scan in ascending-outcome order, the indexed forms in
+	// rank order, so float accumulation may differ in the last ulp.
+	if a, b := EHD(d, correct), EHDIndexed(ix, correct); !almostEq(a, b, 1e-12) {
+		t.Fatalf("EHD %v vs indexed %v", a, b)
+	}
+	s, si := NewSpectrum(d, correct), NewSpectrumIndexed(ix, correct)
+	for k := range s.Bins {
+		if !almostEq(s.Bins[k], si.Bins[k], 1e-12) || s.Counts[k] != si.Counts[k] {
+			t.Fatalf("spectrum bin %d: %v/%d vs %v/%d", k, s.Bins[k], s.Counts[k], si.Bins[k], si.Counts[k])
+		}
+	}
+	// The indexed accumulations are checked against inline brute-force
+	// double scans (the pre-index semantics), not against the delegating
+	// wrappers, so a pruning bug cannot cancel out of both sides.
+	for _, maxD := range []int{0, 2, 5, n} {
+		wantAvg := make([]float64, maxD+1)
+		d.Range(func(x bitstr.Bits, px float64) {
+			d.Range(func(y bitstr.Bits, py float64) {
+				if k := bitstr.Distance(x, y); k <= maxD {
+					wantAvg[k] += px * py
+				}
+			})
+		})
+		got := AverageCHSIndexed(ix, maxD)
+		for k := range wantAvg {
+			if !almostEq(got[k], wantAvg[k], 1e-12) {
+				t.Fatalf("AverageCHS maxD=%d k=%d: %v, brute force %v", maxD, k, got[k], wantAvg[k])
+			}
+		}
+		wantG := make([]float64, maxD+1)
+		d.Range(func(x bitstr.Bits, _ float64) {
+			d.Range(func(y bitstr.Bits, py float64) {
+				if k := bitstr.Distance(x, y); k <= maxD {
+					wantG[k] += py
+				}
+			})
+		})
+		gi := GlobalCHSIndexed(ix, maxD)
+		for k := range wantG {
+			if !almostEq(gi[k], wantG[k], 1e-12) {
+				t.Fatalf("GlobalCHS maxD=%d k=%d: %v, brute force %v", maxD, k, gi[k], wantG[k])
+			}
+		}
+	}
+}
+
 func TestCorrectOutcomeHasRicherNeighborhoodThanFrequentIncorrect(t *testing.T) {
 	// The paper's Fig. 6 observation: "111" has more distance-1 neighbors
 	// than the most frequent outcome "101".
