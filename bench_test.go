@@ -12,6 +12,7 @@ package hammer
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/bitstr"
@@ -171,6 +172,82 @@ func BenchmarkReconstruct(b *testing.B) {
 		}
 	}
 }
+
+// syntheticCounts is syntheticDist in the raw integer-count form the
+// streaming facade ingests.
+func syntheticCounts(n, uniqueOutcomes int, seed int64) map[string]int {
+	counts := make(map[string]int, uniqueOutcomes)
+	syntheticDist(n, uniqueOutcomes, seed).Range(func(x bitstr.Bits, p float64) {
+		k := int(p * 1e6)
+		if k < 1 {
+			k = 1
+		}
+		counts[bitstr.Format(x, n)] = k
+	})
+	return counts
+}
+
+// BenchmarkStreamSnapshot pins the streaming layer's acceptance bar through
+// the public facade: on a 20-bit / 2000-outcome accumulated stream, a
+// snapshot taken after a small batch of fresh shots must be measurably
+// cheaper when served from the incremental engine state than by recomputing
+// the whole histogram from scratch (the batch pipeline RunCounts runs).
+// cmd/streambench emits the same comparison as BENCH_stream.json for the
+// machine-readable perf trajectory.
+func BenchmarkStreamSnapshot(b *testing.B) {
+	base := syntheticCounts(20, 2000, 42)
+	outcomes := make([]string, 0, len(base))
+	for k := range base {
+		outcomes = append(outcomes, k)
+	}
+	sort.Strings(outcomes)
+
+	b.Run("incremental", func(b *testing.B) {
+		s, err := NewStream(20, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.IngestCounts(base); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Snapshot(); err != nil { // settle the initial full pass
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < streamBenchBatch; j++ {
+				if err := s.Ingest(outcomes[(i*streamBenchBatch+j)%len(outcomes)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.Snapshot(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		acc := make(map[string]int, len(base))
+		for k, v := range base {
+			acc[k] = v
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < streamBenchBatch; j++ {
+				acc[outcomes[(i*streamBenchBatch+j)%len(outcomes)]]++
+			}
+			if _, err := RunCounts(acc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// streamBenchBatch is the per-snapshot shot batch of BenchmarkStreamSnapshot:
+// small against the 2000-outcome support, the regime where incremental
+// revalidation pays off.
+const streamBenchBatch = 64
 
 // BenchmarkHammerScaling measures the O(N²) reconstruction across unique-
 // outcome counts (Table 3's independent variable). The paper reports 56 s

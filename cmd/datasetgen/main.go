@@ -6,8 +6,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -16,14 +18,34 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "data", "output directory")
-	maxQ := flag.Int("max-qubits", 10, "largest circuit size to execute")
-	shots := flag.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
-	seed := flag.Int64("seed", 2022, "master seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "datasetgen:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with the process edges (args, streams, exit code) injected so
+// the CLI is testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("datasetgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("out", "data", "output directory")
+	maxQ := fs.Int("max-qubits", 10, "largest circuit size to execute")
+	shots := fs.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
+	seed := fs.Int64("seed", 2022, "master seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed
+		}
+		// The flag package already printed the details and usage.
+		return fmt.Errorf("invalid arguments")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (the output directory is set with -out)", fs.Arg(0))
+	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	layers := []int{1, 2, 3}
 	suites := []struct {
@@ -44,10 +66,11 @@ func main() {
 		}
 		path := filepath.Join(*out, s.suite.Name+".json")
 		if err := dataset.SaveFile(path, recs); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("wrote %3d records to %s (device %s)\n", len(recs), path, s.dev.Name)
+		fmt.Fprintf(stdout, "wrote %3d records to %s (device %s)\n", len(recs), path, s.dev.Name)
 	}
+	return nil
 }
 
 func min(a, b int) int {
@@ -55,9 +78,4 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "datasetgen:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestRunGolden pins the CLI end to end at a small size: the progress lines
+// on stdout (suite names, record counts, devices) and the shape and
+// replayability of every record file written.
+func TestRunGolden(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	args := []string{"-out", dir, "-max-qubits", "5", "-shots", "256", "-seed", "7"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("%v\n%s", err, stderr.String())
+	}
+
+	want := strings.Join([]string{
+		fmt.Sprintf("wrote   8 records to %s (device ibm-paris-like)", filepath.Join(dir, "ibm-bv.json")),
+		fmt.Sprintf("wrote   0 records to %s (device sycamore-like)", filepath.Join(dir, "qaoa-3reg.json")),
+		fmt.Sprintf("wrote   0 records to %s (device sycamore-like)", filepath.Join(dir, "qaoa-grid.json")),
+		fmt.Sprintf("wrote   4 records to %s (device ibm-manhattan-like)", filepath.Join(dir, "qaoa-rand.json")),
+		fmt.Sprintf("wrote   8 records to %s (device ibm-toronto-like)", filepath.Join(dir, "qaoa-sk.json")),
+	}, "\n") + "\n"
+	if got := stdout.String(); got != want {
+		t.Errorf("stdout drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// Every written file must round-trip through the dataset loader.
+	for _, name := range []string{"ibm-bv.json", "qaoa-rand.json", "qaoa-sk.json"} {
+		recs, err := dataset.LoadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s does not load back: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+		for _, r := range recs {
+			if r.Qubits < 1 || r.Qubits > 5 {
+				t.Errorf("%s: record %s has %d qubits", name, r.ID, r.Qubits)
+			}
+			if len(r.Noisy) == 0 {
+				t.Errorf("%s: record %s has an empty histogram", name, r.ID)
+			}
+		}
+	}
+}
+
+// TestRunDeterministic: two runs with the same seed write byte-identical
+// progress output and record files.
+func TestRunDeterministic(t *testing.T) {
+	outA, outB := t.TempDir(), t.TempDir()
+	var a, b bytes.Buffer
+	if err := run([]string{"-out", outA, "-max-qubits", "4", "-shots", "128"}, &a, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", outB, "-max-qubits", "4", "-shots", "128"}, &b, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.ReplaceAll(a.String(), outA, "DIR") != strings.ReplaceAll(b.String(), outB, "DIR") {
+		t.Errorf("progress output differs:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	recsA, err := dataset.LoadFile(filepath.Join(outA, "ibm-bv.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recsB, err := dataset.LoadFile(filepath.Join(outB, "ibm-bv.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsA) != len(recsB) {
+		t.Fatalf("record counts differ: %d vs %d", len(recsA), len(recsB))
+	}
+	for i := range recsA {
+		if recsA[i].ID != recsB[i].ID || len(recsA[i].Noisy) != len(recsB[i].Noisy) {
+			t.Errorf("record %d differs: %s vs %s", i, recsA[i].ID, recsB[i].ID)
+		}
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-h"}, &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-max-qubits") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	// A file where the output directory should be makes MkdirAll fail.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-out", blocker, "-max-qubits", "4", "-shots", "1"}
+	if err := run(args, &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("expected error for file output path")
+	}
+}

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -15,12 +17,32 @@ import (
 type printable interface{ Table() *experiments.Table }
 
 func main() {
-	fig := flag.String("fig", "all", "figure id to regenerate (or 'all')")
-	quick := flag.Bool("quick", false, "use scaled-down sweeps")
-	list := flag.Bool("list", false, "list figure ids")
-	seed := flag.Int64("seed", 2022, "master seed")
-	shots := flag.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+}
+
+// run is main with the process edges (args, streams, exit code) injected so
+// the CLI is testable end to end.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "all", "figure id to regenerate (or 'all')")
+	quick := fs.Bool("quick", false, "use scaled-down sweeps")
+	list := fs.Bool("list", false, "list figure ids")
+	seed := fs.Int64("seed", 2022, "master seed")
+	shots := fs.Int("shots", 8192, "trials per circuit (0 = infinite-shot limit)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed
+		}
+		// The flag package already printed the details and usage.
+		return fmt.Errorf("invalid arguments")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (did you mean -fig %s?)", fs.Arg(0), fs.Arg(0))
+	}
 
 	cfg := experiments.DefaultConfig()
 	if *quick {
@@ -66,23 +88,23 @@ func main() {
 
 	if *list {
 		for _, id := range ids {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return nil
 	}
 	if *fig == "all" {
 		for _, id := range ids {
 			if id == "fig12" {
 				continue // alias of fig1b
 			}
-			drivers[id]().Table().Fprint(os.Stdout)
+			drivers[id]().Table().Fprint(stdout)
 		}
-		return
+		return nil
 	}
 	d, ok := drivers[*fig]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
-		os.Exit(2)
+		return fmt.Errorf("unknown figure %q; use -list", *fig)
 	}
-	d().Table().Fprint(os.Stdout)
+	d().Table().Fprint(stdout)
+	return nil
 }

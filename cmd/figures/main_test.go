@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden runs the CLI and compares its stdout against the named golden file
+// (regenerate with `go test ./cmd/figures -run TestGolden -update`). The
+// quick sweeps are fully seeded, so the byte-exact table output is a stable
+// end-to-end pin of simulate → noise → HAMMER → metrics → formatting.
+func golden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, stderr.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, stdout.String(), want)
+	}
+}
+
+func TestGoldenList(t *testing.T)   { golden(t, "list", "-list") }
+func TestGoldenFig2d(t *testing.T)  { golden(t, "fig2d", "-quick", "-fig", "fig2d") }
+func TestGoldenFig7(t *testing.T)   { golden(t, "fig7", "-quick", "-fig", "fig7") }
+func TestGoldenTable3(t *testing.T) { golden(t, "table3", "-quick", "-fig", "table3") }
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-h"}, &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-fig") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestUnknownFigure(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fig", "nope"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestEveryQuickFigureRuns smoke-tests each driver end to end in quick mode:
+// every id listed by -list must produce a non-empty table without error.
+func TestEveryQuickFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment driver")
+	}
+	var list bytes.Buffer
+	if err := run([]string{"-list"}, &list, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range strings.Fields(list.String()) {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var stdout bytes.Buffer
+			if err := run([]string{"-quick", "-fig", id}, &stdout, &bytes.Buffer{}); err != nil {
+				t.Fatal(err)
+			}
+			if stdout.Len() == 0 {
+				t.Error("empty table")
+			}
+		})
+	}
+}

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -17,7 +21,7 @@ func writeTemp(t *testing.T, content string) string {
 
 func TestReadHistogramBareMap(t *testing.T) {
 	path := writeTemp(t, `{"01": 10, "10": 30}`)
-	h, err := readHistogram(path)
+	h, err := readHistogram(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +32,7 @@ func TestReadHistogramBareMap(t *testing.T) {
 
 func TestReadHistogramWrappedCounts(t *testing.T) {
 	path := writeTemp(t, `{"counts": {"111": 5, "000": 3}}`)
-	h, err := readHistogram(path)
+	h, err := readHistogram(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,10 +43,198 @@ func TestReadHistogramWrappedCounts(t *testing.T) {
 
 func TestReadHistogramRejectsGarbage(t *testing.T) {
 	path := writeTemp(t, `[1, 2, 3]`)
-	if _, err := readHistogram(path); err == nil {
+	if _, err := readHistogram(path, nil); err == nil {
 		t.Error("expected error for non-object input")
 	}
-	if _, err := readHistogram(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+	if _, err := readHistogram(filepath.Join(t.TempDir(), "missing.json"), nil); err == nil {
 		t.Error("expected error for missing file")
+	}
+}
+
+func TestRunBatch(t *testing.T) {
+	in := strings.NewReader(`{"111": 30, "110": 10, "001": 5}`)
+	var stdout, stderr bytes.Buffer
+	if err := runBatch([]string{"-top", "2"}, in, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]float64
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("non-JSON output: %v\n%s", err, stdout.String())
+	}
+	if len(out) != 3 {
+		t.Errorf("support %d", len(out))
+	}
+	if lines := strings.Split(strings.TrimSpace(stderr.String()), "\n"); len(lines) != 2 {
+		t.Errorf("-top 2 printed %d lines:\n%s", len(lines), stderr.String())
+	}
+}
+
+func TestRunBatchBadInput(t *testing.T) {
+	if err := runBatch(nil, strings.NewReader(`{"0x": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("malformed key accepted")
+	}
+	if err := runBatch([]string{"-engine", "fpga"}, strings.NewReader(`{"01": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := runBatch([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("batch -h: %v", err)
+	}
+	if err := runStream([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("stream -h: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-radius") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestStrayPositionalArgsRejected(t *testing.T) {
+	// `hammerctl -radius 2 stream` routes to batch mode (args[0] is a flag)
+	// and must error on the leftover "stream" instead of hanging on stdin.
+	if err := runBatch([]string{"-radius", "2", "stream"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("batch: stray positional accepted")
+	}
+	if err := runBatch([]string{"results.json"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("batch: forgotten -in accepted")
+	}
+	if err := runStream([]string{"shots.txt"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+		t.Error("stream: stray positional accepted")
+	}
+}
+
+func TestParseShotLine(t *testing.T) {
+	cases := []struct {
+		line string
+		shot string
+		k    int
+		ok   bool
+		bad  bool
+	}{
+		{"1011", "1011", 1, true, false},
+		{"  1011   3 ", "1011", 3, true, false},
+		{"", "", 0, false, false},
+		{"   ", "", 0, false, false},
+		{"# comment", "", 0, false, false},
+		{"1011 # trailing", "1011", 1, true, false},
+		{"1011 x", "", 0, false, true},
+		{"1011 3 7", "", 0, false, true},
+	}
+	for _, c := range cases {
+		shot, k, ok, err := parseShotLine(c.line)
+		if c.bad {
+			if err == nil {
+				t.Errorf("%q: expected error", c.line)
+			}
+			continue
+		}
+		if err != nil || shot != c.shot || k != c.k || ok != c.ok {
+			t.Errorf("%q: got (%q, %d, %v, %v)", c.line, shot, k, ok, err)
+		}
+	}
+}
+
+func TestRunStreamEmitsPeriodicSnapshots(t *testing.T) {
+	// 12 shots with -every 5 must emit at 5, 10, and the end-of-stream 12.
+	var in strings.Builder
+	for i := 0; i < 12; i++ {
+		if i%3 == 0 {
+			in.WriteString("0111\n")
+		} else {
+			in.WriteString("1111\n")
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	if err := runStream([]string{"-every", "5"}, strings.NewReader(in.String()), &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d snapshots, want 3:\n%s", len(lines), stdout.String())
+	}
+	wantShots := []int{5, 10, 12}
+	for i, line := range lines {
+		var snap streamSnapshot
+		if err := json.Unmarshal([]byte(line), &snap); err != nil {
+			t.Fatalf("snapshot %d is not JSON: %v", i, err)
+		}
+		if snap.Shots != wantShots[i] {
+			t.Errorf("snapshot %d at %d shots, want %d", i, snap.Shots, wantShots[i])
+		}
+		if snap.Support != 2 || len(snap.Dist) != 2 {
+			t.Errorf("snapshot %d: support=%d dist=%v", i, snap.Support, snap.Dist)
+		}
+		var mass float64
+		for _, p := range snap.Dist {
+			mass += p
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("snapshot %d mass %v", i, mass)
+		}
+	}
+}
+
+func TestRunStreamCountsAndComments(t *testing.T) {
+	input := "# a counted stream\n1111 80\n1110 15\n\n0111 5 # tail\n"
+	var stdout bytes.Buffer
+	if err := runStream([]string{"-top", "1"}, strings.NewReader(input), &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var snap streamSnapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Shots != 100 || snap.Support != 3 {
+		t.Errorf("shots=%d support=%d", snap.Shots, snap.Support)
+	}
+	best, bestP := "", -1.0
+	for k, p := range snap.Dist {
+		if p > bestP {
+			best, bestP = k, p
+		}
+	}
+	if best != "1111" {
+		t.Errorf("top outcome %s", best)
+	}
+}
+
+func TestRunStreamFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shots.txt")
+	if err := os.WriteFile(path, []byte("101\n101\n011\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := runStream([]string{"-in", path}, strings.NewReader(""), &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var snap streamSnapshot
+	if err := json.Unmarshal(stdout.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Shots != 3 {
+		t.Errorf("shots=%d", snap.Shots)
+	}
+}
+
+func TestRunStreamErrors(t *testing.T) {
+	for name, c := range map[string]struct {
+		args  []string
+		input string
+	}{
+		"empty stream":    {nil, ""},
+		"comments only":   {nil, "# nothing\n\n"},
+		"malformed shot":  {nil, "10x1\n"},
+		"mixed width":     {nil, "1011\n101\n"},
+		"bad count":       {nil, "1011 zero\n"},
+		"negative count":  {nil, "1011 -2\n"},
+		"negative every":  {[]string{"-every", "-1"}, "1011\n"},
+		"unknown engine":  {[]string{"-engine", "fpga"}, "1011\n"},
+		"unknown weights": {[]string{"-weights", "quadratic"}, "1011\n"},
+	} {
+		if err := runStream(c.args, strings.NewReader(c.input), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }

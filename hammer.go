@@ -98,12 +98,16 @@ func Run(histogram map[string]float64) (map[string]float64, error) {
 }
 
 // RunCounts is Run for integer shot counts, the raw form quantum backends
-// return.
+// return. Every count must be positive: a backend never reports an outcome
+// it did not observe, so zero or negative entries indicate a corrupted
+// histogram and are rejected. (The float Run path still accepts zero-mass
+// outcomes — "observed with vanishing likelihood" — which arise from
+// analysis pipelines rather than raw counts.)
 func RunCounts(counts map[string]int) (map[string]float64, error) {
 	h := make(map[string]float64, len(counts))
 	for k, v := range counts {
-		if v < 0 {
-			return nil, fmt.Errorf("hammer: negative count %d for %q", v, k)
+		if v <= 0 {
+			return nil, fmt.Errorf("hammer: non-positive count %d for %q", v, k)
 		}
 		h[k] = float64(v)
 	}

@@ -1,7 +1,9 @@
 package hammer
 
 import (
+	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -133,6 +135,95 @@ func TestRunWithConfigTopM(t *testing.T) {
 	}
 	if _, err := RunWithConfig(in, Config{TopM: -1}); err == nil {
 		t.Error("negative TopM accepted")
+	}
+}
+
+// wideHistogram builds a deterministic 20-bit histogram with a rich cluster
+// around a key plus a long low-probability tail — wide enough that TopM
+// truncation actually truncates.
+func wideHistogram(n, tailSize int) (map[string]float64, string) {
+	key := strings.Repeat("10", n/2)
+	h := map[string]float64{key: 0.08}
+	// Single-flip cluster.
+	for i := 0; i < n; i++ {
+		b := []byte(key)
+		b[i] ^= 1
+		h[string(b)] = 0.01 + 0.001*float64(i)
+	}
+	// Deterministic pseudo-random tail (LCG so no test-order coupling).
+	state := uint64(12345)
+	for len(h) < n+1+tailSize {
+		state = state*6364136223846793005 + 1442695040888963407
+		x := state >> (64 - n)
+		s := fmt.Sprintf("%0*b", n, x)
+		if _, ok := h[s]; !ok {
+			h[s] = 1e-5 * float64(1+state%7)
+		}
+	}
+	return h, key
+}
+
+// TestCrossEngineGoldenWideTopM extends the facade's cross-engine goldens
+// past width 16: at 20 bits with TopM truncation active the exact and
+// bucketed engines must still agree to 1e-12, and the truncated tail must
+// take the isolated-scoring path L(x) = Pr(x)² — pinned through the ratio of
+// two tail outcomes, which must equal the squared ratio of their inputs.
+func TestCrossEngineGoldenWideTopM(t *testing.T) {
+	const n, tailSize, topM = 20, 400, 64
+	in, key := wideHistogram(n, tailSize)
+	ex, err := RunWithConfig(in, Config{Engine: "exact", TopM: topM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bu, err := RunWithConfig(in, Config{Engine: "bucketed", TopM: topM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != len(in) || len(bu) != len(in) {
+		t.Fatalf("support changed: %d/%d vs %d", len(ex), len(bu), len(in))
+	}
+	for k, p := range ex {
+		if !almostEq(bu[k], p, 1e-12) {
+			t.Fatalf("engines diverge on %s: %v vs %v", k, bu[k], p)
+		}
+	}
+	if ex[key] <= in[key]/sum(in) {
+		t.Errorf("key not boosted under TopM: %v", ex[key])
+	}
+	// Two tail outcomes with distinct input mass: their reconstructed ratio
+	// pins the tail-scoring path.
+	type entry struct {
+		k string
+		p float64
+	}
+	var entries []entry
+	for k, p := range in {
+		entries = append(entries, entry{k, p})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].p != entries[j].p {
+			return entries[i].p > entries[j].p
+		}
+		return entries[i].k < entries[j].k
+	})
+	tail := entries[topM:]
+	var a, b entry
+	found := false
+	for i := 0; i < len(tail) && !found; i++ {
+		for j := i + 1; j < len(tail); j++ {
+			if tail[i].p != tail[j].p {
+				a, b, found = tail[i], tail[j], true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("test premise broken: no distinct tail pair")
+	}
+	got := ex[a.k] / ex[b.k]
+	want := (a.p / b.p) * (a.p / b.p)
+	if !almostEq(got/want, 1, 1e-9) {
+		t.Fatalf("tail ratio %v, want %v (L(x)=Pr(x)² violated)", got, want)
 	}
 }
 

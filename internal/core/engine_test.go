@@ -33,9 +33,9 @@ func goldenDist(n int, seed int64) *dist.Dist {
 // TestEnginesAgree is the cross-engine golden test: the exact reference loop
 // and the bucketed index engine must produce the same reconstruction within
 // 1e-12 — and the byte-identical top-1 outcome — on randomized histograms
-// across every width from 4 to 16 bits, with and without parallelism.
+// across every width from 4 to 20 bits, with and without parallelism.
 func TestEnginesAgree(t *testing.T) {
-	for n := 4; n <= 16; n++ {
+	for n := 4; n <= 20; n++ {
 		for _, workers := range []int{1, 4} {
 			seed := int64(n*100 + workers)
 			in := goldenDist(n, seed)
@@ -91,6 +91,52 @@ func TestEnginesAgreeAcrossOptions(t *testing.T) {
 		}
 		if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
 			t.Fatalf("case %d (%+v): top-1 differs: %b vs %b", i, opts, a, b)
+		}
+	}
+}
+
+// TestEnginesAgreeWideTopM extends the cross-engine goldens past width 16
+// with TopM truncation active: at 20 and 22 bits the support far exceeds the
+// cap, so most outcomes take the tail-scoring path (L(x) = Pr(x)²) — both
+// engines must agree there too, and the truncated tail must score exactly as
+// isolated.
+func TestEnginesAgreeWideTopM(t *testing.T) {
+	for _, n := range []int{20, 22} {
+		in := goldenDist(n, int64(1000+n))
+		topM := 64
+		if in.Len() <= topM {
+			t.Fatalf("test premise broken: support %d <= TopM %d", in.Len(), topM)
+		}
+		ex := Reconstruct(in, Options{Engine: EngineExact, TopM: topM})
+		bu := Reconstruct(in, Options{Engine: EngineBucketed, TopM: topM, Workers: 4})
+		if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
+			t.Fatalf("n=%d: engine TVD %v under TopM", n, d)
+		}
+		if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
+			t.Fatalf("n=%d: top-1 differs: %b vs %b", n, a, b)
+		}
+		// Tail pin: an outcome outside the top-M scores as isolated, so its
+		// reconstructed mass is Pr(x)²/Z — the ratio of two tail outcomes'
+		// reconstructions equals the squared ratio of their inputs.
+		top := in.TopK(in.Len())
+		tail := top[topM:]
+		var x, y dist.Entry
+		found := false
+		for i := 0; i < len(tail) && !found; i++ {
+			for j := i + 1; j < len(tail); j++ {
+				if tail[i].P > 0 && tail[j].P > 0 && tail[i].P != tail[j].P {
+					x, y, found = tail[i], tail[j], true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("n=%d: no distinct positive tail pair", n)
+		}
+		got := ex.Out.Prob(x.X) / ex.Out.Prob(y.X)
+		want := (x.P / y.P) * (x.P / y.P)
+		if !almostEq(got/want, 1, 1e-9) {
+			t.Fatalf("n=%d: tail ratio %v, want %v (L(x)=Pr(x)² violated)", n, got, want)
 		}
 	}
 }

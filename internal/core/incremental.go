@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// EngineIncremental names the streaming engine in Result.Engine. It is not a
+// valid Options.Engine value for the batch Reconstruct path: incremental
+// state only exists inside an Incremental accumulator.
+const EngineIncremental = "incremental"
+
+// fullResyncEvery bounds floating-point drift: delta-patched rows are exact
+// sums in exact arithmetic but accumulate one rounding error per patch, so
+// every fullResyncEvery-th revalidation rebuilds all rows from scratch. The
+// amortized cost is one extra full pass per 256 snapshots.
+const fullResyncEvery = 256
+
+// accRow is the cached per-outcome engine state: the outcome's neighborhood
+// strengths per Hamming distance, in count space (raw shot mass, not
+// normalized probability). Index d of each slice is the strength at distance
+// exactly d; index 0 is unused because distinct outcomes are at distance >= 1.
+//
+//   - all[d] is the unfiltered neighborhood strength, the outcome's
+//     contribution to the global CHS: summed over every outcome, all[d]
+//     recovers CHS[d] because each unordered pair (x, y) at distance d
+//     contributes mass(y) to x's row and mass(x) to y's row.
+//   - adm[d] is the admitted strength under the lower-probability filter of
+//     §4.4 (only neighbors with strictly lower mass give credit). With the
+//     filter disabled the two coincide and adm aliases all.
+//
+// mass is the outcome's mass at the last row synchronization, so a
+// revalidation knows each changed outcome's old mass when patching its
+// neighbors' rows.
+type accRow struct {
+	all  []float64
+	adm  []float64
+	mass float64
+}
+
+// Incremental is reusable HAMMER engine state for streaming reconstruction:
+// CHS accumulators and per-outcome neighborhood rows that survive across
+// snapshots, invalidated per dirty outcome instead of recomputed from
+// scratch.
+//
+// Two observations make snapshots cheap. First, every quantity of
+// Algorithm 1 is homogeneous in the total shot count T — probabilities are
+// c(x)/T and both the global CHS and the admitted neighborhood strengths
+// scale by 1/T — so the state is maintained in count space and rescaled at
+// snapshot time. Second, when shots land on outcome x, the row of an
+// unchanged outcome y within the radius shifts by a closed-form delta: its
+// own mass did not move, so its filter decisions against x depend only on
+// x's old and new mass, and the row is patched in O(1) per distance instead
+// of recomputed. Only the changed outcomes themselves — whose filter
+// decisions against every neighbor may flip — pay a full O(ball) row
+// rebuild. A snapshot after a batch touching m unique outcomes therefore
+// costs O(m · ball) + O(N · radius), instead of the O(N · ball) full
+// pairwise pass of the batch engines.
+//
+// Incremental is not safe for concurrent use; callers serialize Add and
+// Snapshot.
+type Incremental struct {
+	n       int
+	maxD    int
+	scheme  WeightScheme
+	filter  bool
+	workers int
+
+	ix       *dist.LiveIndex
+	rows     map[bitstr.Bits]*accRow
+	changed  map[bitstr.Bits]struct{} // outcomes whose mass moved since the last row sync
+	resyncIn int                      // revalidations until the next full anti-drift rebuild
+	cached   *Result                  // last snapshot; nil when state changed since
+}
+
+// NewIncremental returns empty streaming engine state over n-bit outcomes.
+// Options.TopM and Options.Engine are rejected: truncation invalidates
+// per-outcome caching (the top-M membership shifts between snapshots), and
+// the batch engines have no incremental state — callers that need either run
+// the batch path per snapshot instead (internal/stream does this gating).
+func NewIncremental(n int, opts Options) *Incremental {
+	if n < 1 || n > bitstr.MaxBits {
+		panic(fmt.Sprintf("core: incremental width %d out of range [1,%d]", n, bitstr.MaxBits))
+	}
+	if opts.TopM != 0 {
+		panic(fmt.Sprintf("core: incremental state does not support TopM (%d)", opts.TopM))
+	}
+	if opts.Engine != "" && opts.Engine != EngineAuto && opts.Engine != EngineIncremental {
+		panic(fmt.Sprintf("core: incremental state cannot run engine %q", opts.Engine))
+	}
+	return &Incremental{
+		n:        n,
+		maxD:     opts.radius(n),
+		scheme:   opts.Weights,
+		filter:   !opts.DisableFilter,
+		workers:  opts.workers(),
+		ix:       dist.NewLiveIndex(n),
+		rows:     make(map[bitstr.Bits]*accRow),
+		changed:  make(map[bitstr.Bits]struct{}),
+		resyncIn: fullResyncEvery,
+	}
+}
+
+// NumBits returns the outcome width in bits.
+func (inc *Incremental) NumBits() int { return inc.n }
+
+// Support returns the number of distinct outcomes ingested so far.
+func (inc *Incremental) Support() int { return inc.ix.Len() }
+
+// Total returns the accumulated shot mass.
+func (inc *Incremental) Total() float64 { return inc.ix.Total() }
+
+// Radius returns the maximum admitted Hamming distance.
+func (inc *Incremental) Radius() int { return inc.maxD }
+
+// Range calls fn for every ingested outcome with its accumulated mass, in
+// the live index's deterministic order (ascending Hamming weight, insertion
+// order within a weight).
+func (inc *Incremental) Range(fn func(x bitstr.Bits, mass float64)) {
+	inc.ix.Range(fn)
+}
+
+// Add accumulates mass onto outcome x (one shot is mass 1). The update is
+// O(1): row invalidation is deferred to the next Snapshot so that a batch
+// touching m unique outcomes costs m neighborhood repairs, not one per shot.
+func (inc *Incremental) Add(x bitstr.Bits, mass float64) {
+	inc.ix.Add(x, mass)
+	inc.changed[x] = struct{}{}
+	inc.cached = nil
+}
+
+// Snapshot reconstructs the distribution of the shots ingested so far,
+// repairing only the engine state the changed outcomes touched. It panics
+// when nothing has been ingested. Repeated snapshots with no intervening Add
+// return the same Result.
+func (inc *Incremental) Snapshot() *Result {
+	if inc.ix.Len() == 0 {
+		panic("core: snapshot of empty incremental state")
+	}
+	if inc.cached != nil {
+		return inc.cached
+	}
+	inc.revalidate()
+
+	total := inc.ix.Total()
+	if total <= 0 {
+		panic(fmt.Sprintf("core: snapshot of mass %v", total))
+	}
+	inv := 1 / total
+
+	// Global CHS: freshly summed from the cached rows every snapshot (cheap,
+	// O(N·radius)) so the accumulator itself never drifts. chs[0] is the
+	// self-pair term, Σ Pr(x) = 1 for a normalized histogram.
+	chs := make([]float64, inc.maxD+1)
+	chs[0] = 1
+	inc.ix.Range(func(x bitstr.Bits, _ float64) {
+		row := inc.rows[x]
+		for d := 1; d <= inc.maxD; d++ {
+			chs[d] += row.all[d] * inv
+		}
+	})
+	w := weights(chs, inc.maxD, inc.scheme)
+
+	out := dist.New(inc.n)
+	inc.ix.Range(func(x bitstr.Bits, m float64) {
+		p := m * inv
+		row := inc.rows[x]
+		s := p
+		for d := 1; d <= inc.maxD; d++ {
+			s += w[d] * (row.adm[d] * inv)
+		}
+		out.Set(x, s*p)
+	})
+	out.Normalize()
+	inc.cached = &Result{Out: out, GlobalCHS: chs, Weights: w, Radius: inc.maxD, Engine: EngineIncremental}
+	return inc.cached
+}
+
+// revalidate repairs the neighborhood rows after a batch of mass updates:
+// unchanged neighbors are delta-patched, changed outcomes are rebuilt, and
+// every fullResyncEvery-th call rebuilds everything to stop rounding drift.
+func (inc *Incremental) revalidate() {
+	if len(inc.changed) == 0 {
+		return
+	}
+	inc.resyncIn--
+	if inc.resyncIn <= 0 || len(inc.changed) == inc.ix.Len() {
+		inc.fullResync()
+		return
+	}
+
+	changedList := make([]bitstr.Bits, 0, len(inc.changed))
+	for x := range inc.changed {
+		changedList = append(changedList, x)
+	}
+	sort.Slice(changedList, func(i, j int) bool { return changedList[i] < changedList[j] })
+
+	// Ensure every changed outcome has a row before the parallel rebuild so
+	// that phase only mutates per-outcome structs, never the map. New
+	// outcomes carry mass 0 at the last sync by construction.
+	changedRows := make([]*accRow, len(changedList))
+	for i, x := range changedList {
+		r, ok := inc.rows[x]
+		if !ok {
+			r = &accRow{}
+			inc.rows[x] = r
+		}
+		changedRows[i] = r
+	}
+
+	// Phase 1 — patch the rows of unchanged neighbors. y's own mass did not
+	// move, so its filter decision against a changed x depends only on x's
+	// old mass (row sync state) and new mass: remove the old contribution,
+	// add the new one.
+	for i, x := range changedList {
+		oldM := changedRows[i].mass
+		newM := inc.ix.Mass(x)
+		delta := newM - oldM
+		inc.ix.RangeBall(x, inc.maxD, func(y bitstr.Bits, my float64, d int) {
+			if d == 0 {
+				return
+			}
+			if _, ok := inc.changed[y]; ok {
+				return // rebuilt wholesale in phase 2
+			}
+			row := inc.rows[y]
+			row.all[d] += delta
+			if inc.filter {
+				var admDelta float64
+				if oldM < my {
+					admDelta -= oldM
+				}
+				if newM < my {
+					admDelta += newM
+				}
+				row.adm[d] += admDelta
+			}
+		})
+	}
+
+	// Phase 2 — rebuild the changed outcomes' own rows: their mass moved, so
+	// every filter decision in the row may have flipped.
+	parallelRange(len(changedList), inc.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inc.recomputeRow(changedList[i], changedRows[i])
+		}
+	})
+	for i, x := range changedList {
+		changedRows[i].mass = inc.ix.Mass(x)
+	}
+	inc.changed = make(map[bitstr.Bits]struct{})
+}
+
+// fullResync rebuilds every row from the live index, resynchronizing all
+// cached masses. It runs on the first snapshot (everything is changed) and
+// periodically thereafter as the anti-drift backstop.
+func (inc *Incremental) fullResync() {
+	entries := make([]bitstr.Bits, 0, inc.ix.Len())
+	rows := make([]*accRow, 0, inc.ix.Len())
+	inc.ix.Range(func(x bitstr.Bits, _ float64) {
+		r, ok := inc.rows[x]
+		if !ok {
+			r = &accRow{}
+			inc.rows[x] = r
+		}
+		entries = append(entries, x)
+		rows = append(rows, r)
+	})
+	parallelRange(len(entries), inc.workers, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inc.recomputeRow(entries[i], rows[i])
+			rows[i].mass = inc.ix.Mass(entries[i])
+		}
+	})
+	inc.changed = make(map[bitstr.Bits]struct{})
+	inc.resyncIn = fullResyncEvery
+}
+
+// recomputeRow rebuilds one outcome's neighborhood strengths from the live
+// index with a single ball query.
+func (inc *Incremental) recomputeRow(x bitstr.Bits, row *accRow) {
+	all := make([]float64, inc.maxD+1)
+	var adm []float64
+	if inc.filter {
+		adm = make([]float64, inc.maxD+1)
+	} else {
+		adm = all
+	}
+	mx := inc.ix.Mass(x)
+	inc.ix.RangeBall(x, inc.maxD, func(y bitstr.Bits, my float64, d int) {
+		if d == 0 {
+			return
+		}
+		all[d] += my
+		if inc.filter && my < mx {
+			adm[d] += my
+		}
+	})
+	row.all, row.adm = all, adm
+}

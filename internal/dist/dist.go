@@ -456,6 +456,16 @@ func (c *Counts) Range(fn func(x bitstr.Bits, k int)) {
 	}
 }
 
+// Clone deep-copies the count histogram.
+func (c *Counts) Clone() *Counts {
+	out := NewCounts(c.n)
+	for x, k := range c.c {
+		out.c[x] = k
+	}
+	out.total = c.total
+	return out
+}
+
 // Dist converts the counts to a normalized probability distribution.
 func (c *Counts) Dist() *Dist {
 	if c.total <= 0 {

@@ -1,0 +1,154 @@
+// The live index: the incrementally maintained counterpart of Index for
+// streaming ingestion. Index is built once from a finished histogram and
+// keeps a global descending-probability rank order that would cost O(N) to
+// repair per update; LiveIndex drops the rank order and keeps only the
+// popcount buckets, which makes every mutation O(1) — a new outcome is an
+// append to its weight bucket, an increment is an in-place mass update — while
+// still supporting the triangle-inequality-pruned ball queries the
+// reconstruction engines are built on.
+package dist
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitstr"
+)
+
+// LiveEntry is one outcome of a LiveIndex with its accumulated mass. Mass is
+// in "count space": callers feed raw (unnormalized) shot weights and divide
+// by Total at snapshot time.
+type LiveEntry struct {
+	X bitstr.Bits
+	M float64
+}
+
+// LiveIndex is a mutable popcount-bucketed index over an n-bit outcome
+// space. Bucket w holds exactly the outcomes with Hamming weight w in
+// insertion order, so iteration is deterministic for a fixed ingest sequence
+// and a ball query at radius d from x may skip every bucket outside
+// [popcount(x)-d, popcount(x)+d]. The zero value is not usable; construct
+// with NewLiveIndex.
+type LiveIndex struct {
+	n       int
+	buckets [][]LiveEntry       // by popcount 0..n, insertion order
+	pos     map[bitstr.Bits]int // outcome -> index within its bucket
+	total   float64
+}
+
+// NewLiveIndex returns an empty live index over n-bit outcomes.
+func NewLiveIndex(n int) *LiveIndex {
+	if n < 1 || n > bitstr.MaxBits {
+		panic(fmt.Sprintf("dist: live index width %d out of range [1,%d]", n, bitstr.MaxBits))
+	}
+	return &LiveIndex{
+		n:       n,
+		buckets: make([][]LiveEntry, n+1),
+		pos:     make(map[bitstr.Bits]int),
+	}
+}
+
+// NumBits returns the outcome width in bits.
+func (ix *LiveIndex) NumBits() int { return ix.n }
+
+// Len returns the number of indexed outcomes.
+func (ix *LiveIndex) Len() int { return len(ix.pos) }
+
+// Total returns the accumulated mass across all outcomes.
+func (ix *LiveIndex) Total() float64 { return ix.total }
+
+// Contains reports whether outcome x has been indexed.
+func (ix *LiveIndex) Contains(x bitstr.Bits) bool {
+	_, ok := ix.pos[x]
+	return ok
+}
+
+// Mass returns the accumulated mass on outcome x (zero if never indexed).
+func (ix *LiveIndex) Mass(x bitstr.Bits) float64 {
+	i, ok := ix.pos[x]
+	if !ok {
+		return 0
+	}
+	return ix.buckets[bits.OnesCount64(x)][i].M
+}
+
+// Add accumulates mass m onto outcome x, inserting it into its weight bucket
+// on first sight, and reports whether the outcome is new. Mass must be
+// non-negative; a zero-mass insert keeps the outcome in the support (HAMMER
+// distinguishes "observed with vanishing likelihood" from "never observed").
+func (ix *LiveIndex) Add(x bitstr.Bits, m float64) bool {
+	if x&^bitstr.AllOnes(ix.n) != 0 {
+		panic(fmt.Sprintf("dist: outcome %b exceeds %d bits", x, ix.n))
+	}
+	if m < 0 {
+		panic(fmt.Sprintf("dist: negative mass %v", m))
+	}
+	w := bits.OnesCount64(x)
+	i, ok := ix.pos[x]
+	if ok {
+		ix.buckets[w][i].M += m
+		ix.total += m
+		return false
+	}
+	ix.pos[x] = len(ix.buckets[w])
+	ix.buckets[w] = append(ix.buckets[w], LiveEntry{X: x, M: m})
+	ix.total += m
+	return true
+}
+
+// Bucket returns the entries of Hamming weight w in insertion order. The
+// slice is shared; callers must not mutate it.
+func (ix *LiveIndex) Bucket(w int) []LiveEntry {
+	if w < 0 || w > ix.n {
+		return nil
+	}
+	return ix.buckets[w]
+}
+
+// Range calls fn for every indexed outcome in deterministic order: buckets in
+// ascending Hamming weight, entries within a bucket in insertion order.
+func (ix *LiveIndex) Range(fn func(x bitstr.Bits, m float64)) {
+	for _, b := range ix.buckets {
+		for _, e := range b {
+			fn(e.X, e.M)
+		}
+	}
+}
+
+// RangeBall calls fn for every indexed outcome within Hamming distance maxD
+// of x, including x itself if indexed. Buckets outside the weight window are
+// skipped wholesale; entries inside it are confirmed with an exact distance
+// check. Iteration is deterministic: buckets in ascending weight, entries in
+// insertion order.
+func (ix *LiveIndex) RangeBall(x bitstr.Bits, maxD int, fn func(y bitstr.Bits, m float64, d int)) {
+	wx := bits.OnesCount64(x)
+	lo, hi := wx-maxD, wx+maxD
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > ix.n {
+		hi = ix.n
+	}
+	for w := lo; w <= hi; w++ {
+		for _, e := range ix.buckets[w] {
+			if d := bitstr.Distance(x, e.X); d <= maxD {
+				fn(e.X, e.M, d)
+			}
+		}
+	}
+}
+
+// Dist converts the accumulated masses to a normalized sparse distribution.
+// It panics when no mass has been accumulated.
+func (ix *LiveIndex) Dist() *Dist {
+	if ix.total <= 0 {
+		panic("dist: cannot convert empty live index to a distribution")
+	}
+	d := New(ix.n)
+	inv := 1 / ix.total
+	ix.Range(func(x bitstr.Bits, m float64) {
+		d.p[x] = m * inv
+	})
+	d.total = 1
+	return d
+}

@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitstr"
+)
+
+func TestLiveIndexAddAndMass(t *testing.T) {
+	ix := NewLiveIndex(4)
+	if !ix.Add(0b1010, 3) {
+		t.Error("first Add not reported new")
+	}
+	if ix.Add(0b1010, 2) {
+		t.Error("second Add reported new")
+	}
+	ix.Add(0b0001, 1)
+	if got := ix.Mass(0b1010); got != 5 {
+		t.Errorf("mass = %v", got)
+	}
+	if got := ix.Mass(0b1111); got != 0 {
+		t.Errorf("absent mass = %v", got)
+	}
+	if ix.Len() != 2 || ix.Total() != 6 {
+		t.Errorf("len=%d total=%v", ix.Len(), ix.Total())
+	}
+	if !ix.Contains(0b0001) || ix.Contains(0b0100) {
+		t.Error("Contains wrong")
+	}
+	if got := len(ix.Bucket(2)); got != 1 {
+		t.Errorf("bucket(2) size %d", got)
+	}
+	if ix.Bucket(-1) != nil || ix.Bucket(5) != nil {
+		t.Error("out-of-range bucket not nil")
+	}
+}
+
+func TestLiveIndexZeroMassStaysInSupport(t *testing.T) {
+	ix := NewLiveIndex(3)
+	ix.Add(0b101, 0)
+	if ix.Len() != 1 || !ix.Contains(0b101) {
+		t.Error("zero-mass outcome dropped")
+	}
+}
+
+func TestLiveIndexPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"width 0":       func() { NewLiveIndex(0) },
+		"width 65":      func() { NewLiveIndex(65) },
+		"overflow":      func() { NewLiveIndex(3).Add(0b1000, 1) },
+		"negative mass": func() { NewLiveIndex(3).Add(0b001, -1) },
+		"empty dist":    func() { _ = NewLiveIndex(3).Dist() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestLiveIndexMatchesIndex: for any ingest sequence, the live index's ball
+// queries must visit exactly the same (outcome, mass, distance) set as the
+// batch Index built from the same accumulated histogram.
+func TestLiveIndexMatchesIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 8
+	ix := NewLiveIndex(n)
+	d := New(n)
+	for i := 0; i < 500; i++ {
+		x := bitstr.Bits(rng.Intn(1 << n))
+		m := float64(1 + rng.Intn(5))
+		ix.Add(x, m)
+		d.Add(x, m)
+	}
+	if ix.Len() != d.Len() {
+		t.Fatalf("support %d vs %d", ix.Len(), d.Len())
+	}
+	batch := NewIndex(d)
+	for _, maxD := range []int{0, 1, 3, n} {
+		for trial := 0; trial < 20; trial++ {
+			x := bitstr.Bits(rng.Intn(1 << n))
+			live := map[bitstr.Bits]float64{}
+			ix.RangeBall(x, maxD, func(y bitstr.Bits, m float64, dd int) {
+				if bitstr.Distance(x, y) != dd {
+					t.Fatalf("wrong distance %d for %b vs %b", dd, x, y)
+				}
+				live[y] = m
+			})
+			want := map[bitstr.Bits]float64{}
+			batch.RangeBall(x, maxD, func(e IndexEntry, _ int) {
+				want[e.X] = e.P
+			})
+			if len(live) != len(want) {
+				t.Fatalf("maxD=%d x=%b: ball size %d vs %d", maxD, x, len(live), len(want))
+			}
+			for y, m := range want {
+				if live[y] != m {
+					t.Fatalf("maxD=%d: mass mismatch on %b: %v vs %v", maxD, y, live[y], m)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveIndexDist: the normalized conversion must match Dist built from
+// the same masses.
+func TestLiveIndexDist(t *testing.T) {
+	ix := NewLiveIndex(3)
+	ref := New(3)
+	for _, e := range []struct {
+		x bitstr.Bits
+		m float64
+	}{{0b001, 3}, {0b111, 5}, {0b001, 1}, {0b100, 2}} {
+		ix.Add(e.x, e.m)
+		ref.Add(e.x, e.m)
+	}
+	ref.Normalize()
+	got := ix.Dist()
+	if got.Total() != 1 {
+		t.Errorf("total %v", got.Total())
+	}
+	if tvd := TVD(got, ref); tvd > 1e-15 {
+		t.Errorf("TVD %v", tvd)
+	}
+}
+
+// TestLiveIndexRangeDeterministic: iteration walks buckets in ascending
+// weight and insertion order within a bucket.
+func TestLiveIndexRangeDeterministic(t *testing.T) {
+	ix := NewLiveIndex(4)
+	ix.Add(0b1110, 1) // w=3
+	ix.Add(0b0001, 1) // w=1, first in bucket
+	ix.Add(0b1000, 1) // w=1, second in bucket
+	ix.Add(0b0000, 1) // w=0
+	var got []bitstr.Bits
+	ix.Range(func(x bitstr.Bits, _ float64) { got = append(got, x) })
+	want := []bitstr.Bits{0b0000, 0b0001, 0b1000, 0b1110}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package qasm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds the OpenQASM parser arbitrary program text: malformed
+// input of any shape must come back as a parse error, never a panic or a
+// hang, and accepted programs must yield a well-formed circuit.
+func FuzzParse(f *testing.F) {
+	f.Add("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+	f.Add("OPENQASM 2.0;\nqreg q[3];\nrz(pi/4) q[0];\nrzz(-0.5*pi) q[1],q[2];\nmeasure q[0] -> c[0];\n")
+	f.Add("OPENQASM 2.0;\nqreg q[1];\nrx(") // truncated angle
+	f.Add("qreg q[0];")
+	f.Add("qreg q[-1];")
+	f.Add("h q[0];")                    // gate before qreg
+	f.Add("OPENQASM 2.0; qreg q[2]; h") // statement fragments
+	f.Add("// comment only")
+	f.Add("OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[0];\n") // duplicate operand
+	f.Add("OPENQASM 2.0;\nqreg q[2];\nrx(1e309) q[0];\n")
+	f.Add(strings.Repeat("x", 100))
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil circuit without error")
+		}
+		if c.NumQubits() < 1 {
+			t.Fatalf("accepted circuit with %d qubits", c.NumQubits())
+		}
+		for _, g := range c.Gates() {
+			for _, q := range g.Qubits {
+				if q < 0 || q >= c.NumQubits() {
+					t.Fatalf("gate %s addresses qubit %d of %d", g.Name, q, c.NumQubits())
+				}
+			}
+		}
+	})
+}

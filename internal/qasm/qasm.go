@@ -153,6 +153,11 @@ func applyStatement(c *quantum.Circuit, qregName, stmt string) (*quantum.Circuit
 		if err != nil {
 			return nil, "", err
 		}
+		// Circuit.Append panics on invalid operands; external QASM text must
+		// come back as parse errors, not crashes.
+		if err := c.Check(g); err != nil {
+			return nil, "", fmt.Errorf("in %q: %w", stmt, err)
+		}
 		c.Append(g)
 		return c, qregName, nil
 	}

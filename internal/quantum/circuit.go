@@ -30,15 +30,26 @@ func (c *Circuit) Gates() []Gate {
 // Len returns the number of gates.
 func (c *Circuit) Len() int { return len(c.ops) }
 
-// Append adds a gate after validating its qubit operands.
-func (c *Circuit) Append(g Gate) *Circuit {
+// Check reports whether the gate's qubit operands are valid for this
+// circuit: every index inside the register, two-qubit gates on distinct
+// qubits. Append panics on exactly these conditions; parsers handed
+// external input call Check first to turn them into errors.
+func (c *Circuit) Check(g Gate) error {
 	for _, q := range g.Qubits {
 		if q < 0 || q >= c.n {
-			panic(fmt.Sprintf("quantum: gate %v uses qubit %d outside register of %d", g, q, c.n))
+			return fmt.Errorf("quantum: gate %v uses qubit %d outside register of %d", g, q, c.n)
 		}
 	}
 	if g.IsTwoQubit() && g.Qubits[0] == g.Qubits[1] {
-		panic(fmt.Sprintf("quantum: two-qubit gate %v on identical qubits", g))
+		return fmt.Errorf("quantum: two-qubit gate %v on identical qubits", g)
+	}
+	return nil
+}
+
+// Append adds a gate after validating its qubit operands (see Check).
+func (c *Circuit) Append(g Gate) *Circuit {
+	if err := c.Check(g); err != nil {
+		panic(err.Error())
 	}
 	c.ops = append(c.ops, g)
 	return c
