@@ -1,0 +1,175 @@
+package hammer
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReconstructorMatchesRunWithConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Engine: "exact"},
+		{Engine: "bucketed", Workers: 2},
+		{Radius: 2, Weights: "exp-decay"},
+		{TopM: 8},
+	} {
+		r, err := NewReconstructor(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		// Reuse across several histograms: every call must match the
+		// one-shot path exactly.
+		for trial, in := range []map[string]float64{
+			noisyBV(),
+			{"1111": 0.5, "1110": 0.3, "0000": 0.2},
+			noisyBV(),
+		} {
+			got, err := r.Reconstruct(context.Background(), in)
+			if err != nil {
+				t.Fatalf("%+v trial %d: %v", cfg, trial, err)
+			}
+			want, err := RunWithConfig(in, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%+v trial %d: support %d vs %d", cfg, trial, len(got), len(want))
+			}
+			for k, p := range want {
+				if got[k] != p {
+					t.Fatalf("%+v trial %d: %s: %v vs %v (not identical)", cfg, trial, k, got[k], p)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructorValidation(t *testing.T) {
+	if _, err := NewReconstructor(Config{Engine: "fpga"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := NewReconstructor(Config{Engine: "incremental"}); err == nil {
+		t.Error("streaming-only engine accepted for batch")
+	}
+	if _, err := NewReconstructor(Config{Weights: "quadratic"}); err == nil {
+		t.Error("unknown weight scheme accepted")
+	}
+	if _, err := NewReconstructor(Config{Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	r, err := NewReconstructor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reconstruct(context.Background(), map[string]float64{}); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := r.Reconstruct(context.Background(), map[string]float64{"0x": 1}); err == nil {
+		t.Error("malformed key accepted")
+	}
+	// Usable after errors.
+	if _, err := r.Reconstruct(context.Background(), noisyBV()); err != nil {
+		t.Errorf("reconstructor dead after error: %v", err)
+	}
+}
+
+func TestReconstructorCancellation(t *testing.T) {
+	r, err := NewReconstructor(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Reconstruct(ctx, noisyBV()); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled reconstruct returned %v", err)
+	}
+	if _, err := r.Reconstruct(context.Background(), noisyBV()); err != nil {
+		t.Errorf("reconstructor dead after cancellation: %v", err)
+	}
+}
+
+func TestRunBatchMatchesSerialRuns(t *testing.T) {
+	hs := []map[string]float64{
+		noisyBV(),
+		{"111": 30, "101": 40, "011": 20, "001": 10},
+		{"0001": 0.5, "1000": 0.5},
+		func() map[string]float64 { h, _ := wideHistogram(16, 100); return h }(),
+	}
+	for _, workers := range []int{0, 1, 4} {
+		got, err := RunBatch(context.Background(), hs, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(hs) {
+			t.Fatalf("workers=%d: %d results for %d requests", workers, len(got), len(hs))
+		}
+		for i, h := range hs {
+			want, err := RunWithConfig(h, Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, p := range want {
+				if got[i][k] != p {
+					t.Fatalf("workers=%d request %d: %s: %v vs %v (order not deterministic?)",
+						workers, i, k, got[i][k], p)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBatchFailFastWithIndex(t *testing.T) {
+	hs := []map[string]float64{
+		noisyBV(),
+		{"bad-key": 1},
+		noisyBV(),
+	}
+	_, err := RunBatch(context.Background(), hs, Config{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "request 1") {
+		t.Fatalf("err = %v, want request 1 annotation", err)
+	}
+	if _, err := RunBatch(context.Background(), hs[:1], Config{Engine: "fpga"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	out, err := RunBatch(context.Background(), nil, Config{})
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty batch: %v, %v", out, err)
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	hs := []map[string]float64{noisyBV(), noisyBV()}
+	if _, err := RunBatch(ctx, hs, Config{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled batch returned %v", err)
+	}
+}
+
+// TestFacadeDeterministicAcrossProcessRuns guards the FromHistogram ordering
+// fix: reconstructing the same histogram twice in one process (and, thanks to
+// sorted-key accumulation, across processes) gives identical bytes even
+// though map iteration order varies.
+func TestFacadeDeterministicAcrossCalls(t *testing.T) {
+	in := noisyBV()
+	a, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range a {
+			if b[k] != p {
+				t.Fatalf("run %d: %s: %v vs %v", i, k, b[k], p)
+			}
+		}
+	}
+}

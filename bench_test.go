@@ -10,6 +10,7 @@ package hammer
 // DESIGN.md §4 maps each benchmark to the modules it exercises.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -248,6 +249,82 @@ func BenchmarkStreamSnapshot(b *testing.B) {
 // small against the 2000-outcome support, the regime where incremental
 // revalidation pays off.
 const streamBenchBatch = 64
+
+// BenchmarkSessionReuse pins the request-oriented core's headline property:
+// a warmed-up session reconstructing the 20-bit/2000-outcome workload must
+// report ~0 allocs/op (the one-shot path rebuilds its index, accumulator
+// matrix, and output distribution every call). Run with -benchmem.
+func BenchmarkSessionReuse(b *testing.B) {
+	d := syntheticDist(20, 2000, 42)
+	for _, engine := range []string{core.EngineExact, core.EngineBucketed} {
+		opts := core.Options{Engine: engine, Workers: 1}
+		b.Run("session/engine="+engine, func(b *testing.B) {
+			sess, err := core.NewSession(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if _, err := sess.Reconstruct(ctx, d); err != nil { // warm up
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Reconstruct(ctx, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("oneshot/engine="+engine, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.Reconstruct(d, opts)
+			}
+		})
+	}
+}
+
+// batchHistograms builds B distinct wire-form histograms of the §6.6
+// workload shape, each over its own cluster key.
+func batchHistograms(n, uniqueOutcomes, count int) []map[string]float64 {
+	hs := make([]map[string]float64, count)
+	for i := range hs {
+		h := make(map[string]float64, uniqueOutcomes)
+		syntheticDist(n, uniqueOutcomes, int64(42+i)).Range(func(x bitstr.Bits, p float64) {
+			h[bitstr.Format(x, n)] = p
+		})
+		hs[i] = h
+	}
+	return hs
+}
+
+// BenchmarkBatch compares RunBatch at 8 workers against the serial Run loop
+// it replaces, on a batch of 20-bit/2000-outcome histograms — the scheduler
+// acceptance workload. cmd/batchbench emits the same comparison as
+// BENCH_batch.json for the machine-readable perf trajectory.
+func BenchmarkBatch(b *testing.B) {
+	const batchSize = 16
+	hs := batchHistograms(20, 2000, batchSize)
+	b.Run("serial-run-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, h := range hs {
+				if _, err := Run(h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("runbatch-8workers", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunBatch(ctx, hs, Config{Workers: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
 
 // BenchmarkHammerScaling measures the O(N²) reconstruction across unique-
 // outcome counts (Table 3's independent variable). The paper reports 56 s

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	hammer "repro"
+	"repro/internal/sched"
+)
+
+// runBatchFile is the JSONL batch mode: every non-blank input line is one
+// histogram ({"0101": mass} or {"counts": {...}}), reconstructed concurrently
+// through hammer.RunBatch against a bounded worker budget. Output is one
+// reconstructed distribution per line, in input order; the first failing line
+// aborts the whole batch (fail-fast), annotated with its line number.
+func runBatchFile(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hammerctl batch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "-", "input JSONL file ('-' for stdin)")
+	cfg := configFlags(fs)
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+
+	var histograms []map[string]float64
+	var lines []int // input line number per request, for error reporting
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 1<<20), 64<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		h, err := decodeHistogram([]byte(text))
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		histograms = append(histograms, h)
+		lines = append(lines, lineNo)
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if len(histograms) == 0 {
+		return fmt.Errorf("no histograms in input")
+	}
+
+	// In batch mode -workers is the request-level concurrency, exactly
+	// RunBatch's reading of Config.Workers.
+	results, err := hammer.RunBatch(context.Background(), histograms, *cfg)
+	if err != nil {
+		// Translate the batch's request index into the input line number.
+		var be *sched.BatchError
+		if errors.As(err, &be) && be.Index >= 0 && be.Index < len(lines) {
+			return fmt.Errorf("line %d: %w", lines[be.Index], err)
+		}
+		return err
+	}
+	w := bufio.NewWriter(stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for _, res := range results {
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	}
+	return nil
+}

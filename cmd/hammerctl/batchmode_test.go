@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hammer "repro"
+)
+
+func TestRunBatchFile(t *testing.T) {
+	input := strings.Join([]string{
+		`# a batch of histograms`,
+		`{"111": 30, "110": 10, "001": 5}`,
+		``,
+		`{"counts": {"0011": 80, "0111": 15, "1011": 5}}`,
+		`{"01": 1, "10": 3}`,
+	}, "\n")
+	var stdout bytes.Buffer
+	if err := runBatchFile([]string{"-workers", "2"}, strings.NewReader(input), &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("emitted %d results, want 3:\n%s", len(lines), stdout.String())
+	}
+	// Order and content: line k is the reconstruction of input histogram k.
+	wantInputs := []map[string]float64{
+		{"111": 30, "110": 10, "001": 5},
+		{"0011": 80, "0111": 15, "1011": 5},
+		{"01": 1, "10": 3},
+	}
+	for i, line := range lines {
+		var got map[string]float64
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("result %d is not JSON: %v", i, err)
+		}
+		want, err := hammer.RunWithConfig(wantInputs[i], hammer.Config{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("result %d: support %d vs %d", i, len(got), len(want))
+		}
+		var mass float64
+		for k, p := range want {
+			if got[k] != p {
+				t.Errorf("result %d: %s: %v vs %v", i, k, got[k], p)
+			}
+			mass += got[k]
+		}
+		if math.Abs(mass-1) > 1e-9 {
+			t.Errorf("result %d: mass %v", i, mass)
+		}
+	}
+}
+
+func TestRunBatchFileFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batch.jsonl")
+	if err := os.WriteFile(path, []byte(`{"01": 1, "11": 2}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := runBatchFile([]string{"-in", path}, strings.NewReader(""), &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "\"11\"") {
+		t.Errorf("output %s", stdout.String())
+	}
+}
+
+func TestRunBatchFileErrors(t *testing.T) {
+	for name, c := range map[string]struct {
+		args  []string
+		input string
+		want  string // substring of the error
+	}{
+		"empty input":    {nil, "", "no histograms"},
+		"comments only":  {nil, "# nothing\n\n", "no histograms"},
+		"non-JSON line":  {nil, "{\"01\": 1}\nnot json\n", "line 2"},
+		"bad histogram":  {[]string{"-workers", "2"}, "{\"01\": 1}\n{\"0x\": 1}\n", "line 2"},
+		"unknown engine": {[]string{"-engine", "fpga"}, "{\"01\": 1}\n", "engine"},
+		"stray arg":      {[]string{"extra"}, "", "unexpected argument"},
+	} {
+		err := runBatchFile(c.args, strings.NewReader(c.input), &bytes.Buffer{}, &bytes.Buffer{})
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, c.want)
+		}
+	}
+	var stderr bytes.Buffer
+	if err := runBatchFile([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("batch -h: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-workers") {
+		t.Error("usage not printed")
+	}
+}

@@ -16,6 +16,17 @@
 //
 //	quantum-backend | hammerctl stream -every 1000
 //	hammerctl stream -in shots.txt -radius 3 -top 5
+//
+// The batch subcommand reconstructs many independent histograms — one JSON
+// object per input line — concurrently against a bounded worker budget,
+// emitting one reconstruction per line in input order:
+//
+//	hammerctl batch -in histograms.jsonl -workers 8
+//
+// The serve subcommand exposes the same batch machinery as a long-running
+// HTTP JSON service (POST /v1/reconstruct, POST /v1/batch, GET /healthz):
+//
+//	hammerctl serve -addr :8787 -workers 8
 package main
 
 import (
@@ -55,10 +66,15 @@ func parseFlags(fs *flag.FlagSet, args []string) (help bool, err error) {
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "stream" {
+	switch {
+	case len(args) > 0 && args[0] == "stream":
 		err = runStream(args[1:], os.Stdin, os.Stdout, os.Stderr)
-	} else {
-		err = runBatch(args, os.Stdin, os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(args[1:], os.Stdout, os.Stderr)
+	case len(args) > 0 && args[0] == "batch":
+		err = runBatchFile(args[1:], os.Stdin, os.Stdout, os.Stderr)
+	default:
+		err = runOnce(args, os.Stdin, os.Stdout, os.Stderr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hammerctl:", err)
@@ -66,8 +82,8 @@ func main() {
 	}
 }
 
-// runBatch is the classic one-histogram-in, one-reconstruction-out mode.
-func runBatch(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+// runOnce is the classic one-histogram-in, one-reconstruction-out mode.
+func runOnce(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hammerctl", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	in := fs.String("in", "-", "input file ('-' for stdin)")
@@ -259,16 +275,7 @@ func readHistogram(path string, stdin io.Reader) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Accept either {"counts": {...}} or a bare map.
-	var wrapped struct {
-		Counts map[string]float64 `json:"counts"`
-	}
-	if err := json.Unmarshal(data, &wrapped); err == nil && len(wrapped.Counts) > 0 {
-		return wrapped.Counts, nil
-	}
-	var bare map[string]float64
-	if err := json.Unmarshal(data, &bare); err != nil {
-		return nil, fmt.Errorf("input is neither a histogram object nor {\"counts\": ...}: %w", err)
-	}
-	return bare, nil
+	// Accept either {"counts": {...}} or a bare map, exactly as the HTTP
+	// API does.
+	return decodeHistogram(data)
 }

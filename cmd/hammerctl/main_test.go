@@ -51,10 +51,10 @@ func TestReadHistogramRejectsGarbage(t *testing.T) {
 	}
 }
 
-func TestRunBatch(t *testing.T) {
+func TestRunOnce(t *testing.T) {
 	in := strings.NewReader(`{"111": 30, "110": 10, "001": 5}`)
 	var stdout, stderr bytes.Buffer
-	if err := runBatch([]string{"-top", "2"}, in, &stdout, &stderr); err != nil {
+	if err := runOnce([]string{"-top", "2"}, in, &stdout, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	var out map[string]float64
@@ -69,18 +69,18 @@ func TestRunBatch(t *testing.T) {
 	}
 }
 
-func TestRunBatchBadInput(t *testing.T) {
-	if err := runBatch(nil, strings.NewReader(`{"0x": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+func TestRunOnceBadInput(t *testing.T) {
+	if err := runOnce(nil, strings.NewReader(`{"0x": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("malformed key accepted")
 	}
-	if err := runBatch([]string{"-engine", "fpga"}, strings.NewReader(`{"01": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+	if err := runOnce([]string{"-engine", "fpga"}, strings.NewReader(`{"01": 1}`), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown engine accepted")
 	}
 }
 
 func TestHelpIsNotAnError(t *testing.T) {
 	var stderr bytes.Buffer
-	if err := runBatch([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+	if err := runOnce([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
 		t.Errorf("batch -h: %v", err)
 	}
 	if err := runStream([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
@@ -94,10 +94,10 @@ func TestHelpIsNotAnError(t *testing.T) {
 func TestStrayPositionalArgsRejected(t *testing.T) {
 	// `hammerctl -radius 2 stream` routes to batch mode (args[0] is a flag)
 	// and must error on the leftover "stream" instead of hanging on stdin.
-	if err := runBatch([]string{"-radius", "2", "stream"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+	if err := runOnce([]string{"-radius", "2", "stream"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("batch: stray positional accepted")
 	}
-	if err := runBatch([]string{"results.json"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
+	if err := runOnce([]string{"results.json"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {
 		t.Error("batch: forgotten -in accepted")
 	}
 	if err := runStream([]string{"shots.txt"}, strings.NewReader(""), &bytes.Buffer{}, &bytes.Buffer{}); err == nil {

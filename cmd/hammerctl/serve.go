@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	hammer "repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/sched"
+)
+
+// maxRequestBytes bounds one HTTP request body. A histogram entry is ~30
+// bytes on the wire; 32 MiB admits batches of roughly a million outcomes
+// while keeping a malicious body from exhausting memory.
+const maxRequestBytes = 32 << 20
+
+// runServe starts the HTTP reconstruction service: a shared bounded-worker
+// scheduler with pooled per-request sessions behind a small JSON API.
+//
+//	POST /v1/reconstruct  {"counts": {...}} or bare histogram -> {"dist": ...}
+//	POST /v1/batch        {"requests": [{...}, ...]}          -> {"results": [...]}
+//	GET  /healthz                                             -> {"ok": true, ...}
+func runServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hammerctl serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8787", "listen address")
+	cfg := configFlags(fs)
+	if help, err := parseFlags(fs, args); help || err != nil {
+		return err
+	}
+
+	// In serve mode -workers is the request-level concurrency of the shared
+	// scheduler, exactly RunBatch's reading of Config.Workers.
+	srv, err := newServer(*cfg, cfg.Workers)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s)\n",
+		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine))
+	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
+	return hs.Serve(ln)
+}
+
+func engineLabel(name string) string {
+	if name == "" {
+		return core.EngineAuto
+	}
+	return name
+}
+
+// server is the HTTP facade over one shared scheduler.
+type server struct {
+	sch *sched.Scheduler
+}
+
+// newServer builds the scheduler the handlers share. The -workers flag is
+// the request-level concurrency (the shared budget single requests and batch
+// members draw from), exactly as in hammer.RunBatch; each request runs
+// single-threaded inside its slot. The option mapping is the facade's own
+// (hammer.NewScheduler), so serve honors every Config knob the library does.
+func newServer(cfg hammer.Config, workers int) (*server, error) {
+	sch, err := hammer.NewScheduler(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &server{sch: sch}, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/reconstruct", s.handleReconstruct)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	return mux
+}
+
+// reconstructResponse is one reconstruction on the wire, with the metadata a
+// monitoring client wants next to the distribution.
+type reconstructResponse struct {
+	Dist    map[string]float64 `json:"dist"`
+	Support int                `json:"support"`
+	Engine  string             `json:"engine"`
+	Radius  int                `json:"radius"`
+}
+
+type batchRequest struct {
+	Requests []json.RawMessage `json:"requests"`
+}
+
+type batchResponse struct {
+	Results []reconstructResponse `json:"results"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	// Index is the failing request's position in a batch; -1 outside
+	// batches.
+	Index int `json:"index"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"workers": s.sch.Workers(),
+		"engine":  engineLabel(s.sch.Options().Engine),
+	})
+}
+
+func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, bodyStatus(err), -1, err)
+		return
+	}
+	histogram, err := decodeHistogram(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, -1, err)
+		return
+	}
+	in, _, err := dist.FromHistogram(histogram)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, -1, err)
+		return
+	}
+	var resp reconstructResponse
+	err = s.sch.Reconstruct(r.Context(), in, func(res *core.Result) error {
+		resp = toResponse(res)
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusFor(r, err), -1, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, bodyStatus(err), -1, err)
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, -1, fmt.Errorf("batch body is not {\"requests\": [...]}: %w", err))
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, -1, fmt.Errorf("empty batch"))
+		return
+	}
+	results := make([]reconstructResponse, len(req.Requests))
+	err = s.sch.Batch(r.Context(), len(req.Requests),
+		func(i int) (*dist.Dist, error) {
+			histogram, err := decodeHistogram(req.Requests[i])
+			if err != nil {
+				return nil, err
+			}
+			d, _, err := dist.FromHistogram(histogram)
+			return d, err
+		},
+		func(i int, res *core.Result) error {
+			results[i] = toResponse(res)
+			return nil
+		})
+	if err != nil {
+		writeError(w, statusFor(r, err), failedIndex(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, batchResponse{Results: results})
+}
+
+// toResponse copies a session-owned result into an independently owned wire
+// response; it runs inside the scheduler's consume callbacks, before the
+// session is released back to the pool.
+func toResponse(res *core.Result) reconstructResponse {
+	return reconstructResponse{
+		Dist:    dist.ToHistogram(res.Out),
+		Support: res.Out.Len(),
+		Engine:  res.Engine,
+		Radius:  res.Radius,
+	}
+}
+
+// readBody drains a size-capped request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+}
+
+// bodyStatus distinguishes an oversized body (413) from a body that simply
+// failed to arrive — client disconnect mid-upload and the like (400).
+func bodyStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeHistogram accepts the same shapes as the batch CLI: a bare
+// {"0101": mass} object or a {"counts": {...}} wrapper.
+func decodeHistogram(body []byte) (map[string]float64, error) {
+	var wrapped struct {
+		Counts map[string]float64 `json:"counts"`
+	}
+	if err := json.Unmarshal(body, &wrapped); err == nil && len(wrapped.Counts) > 0 {
+		return wrapped.Counts, nil
+	}
+	var bare map[string]float64
+	if err := json.Unmarshal(body, &bare); err != nil {
+		return nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", err)
+	}
+	return bare, nil
+}
+
+// statusFor maps a reconstruction error to an HTTP status: client
+// cancellation propagates as 499 (nginx's client-closed-request — the client
+// is gone either way), everything else is a bad request, since the
+// scheduler's configuration was validated at startup and the remaining
+// failures are input-shaped.
+func statusFor(r *http.Request, err error) int {
+	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		return 499
+	}
+	return http.StatusBadRequest
+}
+
+// failedIndex extracts the failing request's index from a scheduler batch
+// error; -1 when the error is not request-scoped.
+func failedIndex(err error) int {
+	var be *sched.BatchError
+	if errors.As(err, &be) {
+		return be.Index
+	}
+	return -1
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status, index int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Index: index})
+}

@@ -7,7 +7,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -27,23 +29,42 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "-", "QASM file ('-' for stdin)")
-	device := flag.String("device", "ibm-paris", "device preset: ibm-paris, ibm-manhattan, ibm-toronto, sycamore, noiseless")
-	shots := flag.Int("shots", 8192, "trials (0 = infinite-shot limit)")
-	seed := flag.Int64("seed", 1, "noise/sampling seed")
-	applyHammer := flag.Bool("hammer", false, "post-process with HAMMER")
-	engine := flag.String("engine", "auto", "HAMMER scoring engine: auto, exact, bucketed")
-	correct := flag.String("correct", "", "known correct outcome (enables PST/IST/EHD report on stderr)")
-	route := flag.Bool("route", true, "route onto a heavy-hex-like coupling before execution")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "qasmrun:", err)
+		os.Exit(1)
+	}
+}
 
-	circuit, err := parseInput(*in)
+// run is the testable CLI body: flags in, JSON histogram on stdout, the
+// optional metrics report on stderr, failures as errors.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qasmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "-", "QASM file ('-' for stdin)")
+	device := fs.String("device", "ibm-paris", "device preset: ibm-paris, ibm-manhattan, ibm-toronto, sycamore, noiseless")
+	shots := fs.Int("shots", 8192, "trials (0 = infinite-shot limit)")
+	seed := fs.Int64("seed", 1, "noise/sampling seed")
+	applyHammer := fs.Bool("hammer", false, "post-process with HAMMER")
+	engine := fs.String("engine", "auto", "HAMMER scoring engine: auto, exact, bucketed")
+	correct := fs.String("correct", "", "known correct outcome (enables PST/IST/EHD report on stderr)")
+	route := fs.Bool("route", true, "route onto a heavy-hex-like coupling before execution")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return fmt.Errorf("invalid arguments")
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (input comes from -in or stdin)", fs.Arg(0))
+	}
+
+	circuit, err := parseInput(*in, stdin)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	dev, err := deviceFor(*device)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	var out *dist.Dist
@@ -60,37 +81,46 @@ func main() {
 		out = out.Sample(rand.New(rand.NewSource(*seed+1)), *shots).Dist()
 	}
 	if *applyHammer {
-		if err := core.ValidateEngine(*engine); err != nil {
-			fatal(err)
+		// The session path folds engine validation into the reconstruction:
+		// unknown names come back as errors from the registry, the single
+		// place that knows the accepted set.
+		sess, err := core.NewSession(core.Options{Engine: *engine})
+		if err != nil {
+			return err
 		}
-		out = core.Reconstruct(out, core.Options{Engine: *engine}).Out
+		res, err := sess.Reconstruct(context.Background(), out)
+		if err != nil {
+			return err
+		}
+		out = res.Out
 	}
 
 	n := circuit.NumQubits()
 	hist := make(map[string]float64, out.Len())
 	out.Range(func(x bitstr.Bits, p float64) { hist[bitstr.Format(x, n)] = p })
-	enc := json.NewEncoder(os.Stdout)
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", " ")
 	if err := enc.Encode(hist); err != nil {
-		fatal(err)
+		return err
 	}
 
 	if *correct != "" {
 		key, err := bitstr.Parse(*correct)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if len(*correct) != n {
-			fatal(fmt.Errorf("correct outcome has %d bits, circuit has %d", len(*correct), n))
+			return fmt.Errorf("correct outcome has %d bits, circuit has %d", len(*correct), n)
 		}
 		cs := []bitstr.Bits{key}
-		fmt.Fprintf(os.Stderr, "PST %.4f  IST %.4f  EHD %.4f\n",
+		fmt.Fprintf(stderr, "PST %.4f  IST %.4f  EHD %.4f\n",
 			metrics.PST(out, cs), metrics.IST(out, cs), hamming.EHD(out, cs))
 	}
+	return nil
 }
 
-func parseInput(path string) (*quantum.Circuit, error) {
-	var r io.Reader = os.Stdin
+func parseInput(path string, stdin io.Reader) (*quantum.Circuit, error) {
+	r := stdin
 	if path != "-" {
 		f, err := os.Open(path)
 		if err != nil {
@@ -117,9 +147,4 @@ func deviceFor(name string) (*noise.DeviceModel, error) {
 	default:
 		return nil, fmt.Errorf("unknown device %q", name)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "qasmrun:", err)
-	os.Exit(1)
 }

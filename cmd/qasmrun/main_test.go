@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden runs the CLI and compares its stdout against the named golden file
+// (regenerate with `go test ./cmd/qasmrun -update`). Noise, sampling, and
+// HAMMER are fully seeded, and JSON object keys encode in sorted order, so
+// the byte-exact output is a stable end-to-end pin of parse → route → noise →
+// sample → reconstruct → format.
+func golden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, strings.NewReader(""), &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\n%s", args, err, stderr.String())
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			path, stdout.String(), want)
+	}
+}
+
+func TestGoldenNoiseless(t *testing.T) {
+	golden(t, "noiseless", "-in", "testdata/bv.qasm", "-device", "noiseless", "-shots", "0")
+}
+
+func TestGoldenNoisySampled(t *testing.T) {
+	golden(t, "noisy", "-in", "testdata/bv.qasm", "-device", "ibm-paris", "-shots", "2048", "-seed", "7")
+}
+
+func TestGoldenHammer(t *testing.T) {
+	golden(t, "hammer", "-in", "testdata/bv.qasm", "-device", "ibm-paris",
+		"-shots", "2048", "-seed", "7", "-hammer", "-engine", "bucketed")
+}
+
+func TestStdinInput(t *testing.T) {
+	src, err := os.ReadFile("testdata/bv.qasm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout bytes.Buffer
+	if err := run([]string{"-device", "noiseless", "-shots", "0"},
+		bytes.NewReader(src), &stdout, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var hist map[string]float64
+	if err := json.Unmarshal(stdout.Bytes(), &hist); err != nil {
+		t.Fatalf("non-JSON output: %v", err)
+	}
+	if math.Abs(hist["01011"]-0.5) > 1e-9 || math.Abs(hist["11011"]-0.5) > 1e-9 {
+		t.Errorf("BV histogram = %v", hist)
+	}
+}
+
+func TestCorrectReportsMetrics(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", "testdata/bv.qasm", "-device", "ibm-paris", "-shots", "1024",
+		"-hammer", "-correct", "01011"}, strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PST", "IST", "EHD"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("metrics report missing %s: %q", want, stderr.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, c := range map[string]struct {
+		args  []string
+		stdin string
+	}{
+		"unknown device":       {[]string{"-device", "ionq"}, "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n"},
+		"unknown engine":       {[]string{"-hammer", "-engine", "fpga"}, "OPENQASM 2.0;\nqreg q[2];\nh q[0];\n"},
+		"bad qasm":             {nil, "not a circuit"},
+		"missing file":         {[]string{"-in", "testdata/missing.qasm"}, ""},
+		"stray positional":     {[]string{"testdata/bv.qasm"}, ""},
+		"bad correct bits":     {[]string{"-correct", "01x"}, "OPENQASM 2.0;\nqreg q[3];\nh q[0];\n"},
+		"correct length wrong": {[]string{"-correct", "01"}, "OPENQASM 2.0;\nqreg q[3];\nh q[0];\n"},
+	} {
+		err := run(c.args, strings.NewReader(c.stdin), &bytes.Buffer{}, &bytes.Buffer{})
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	var stderr bytes.Buffer
+	if err := run([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {
+		t.Errorf("-h: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "-device") {
+		t.Error("usage not printed")
+	}
+}

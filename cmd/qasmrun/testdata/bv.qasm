@@ -1,0 +1,18 @@
+// Bernstein-Vazirani with hidden string 1011 (q4 is the oracle ancilla).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+x q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];
+h q[4];
+cx q[0],q[4];
+cx q[1],q[4];
+cx q[3],q[4];
+h q[0];
+h q[1];
+h q[2];
+h q[3];

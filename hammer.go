@@ -23,6 +23,7 @@
 package hammer
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitstr"
@@ -59,6 +60,11 @@ type Config struct {
 	Engine string
 }
 
+// options maps the public configuration onto core options. Weight-scheme
+// names are resolved here (they are a facade-level vocabulary); everything
+// else — radius and TopM signs, engine names against the registry — is
+// validated once by core.NewSession, the single validation point every facade
+// path flows through.
 func (c Config) options() (core.Options, error) {
 	opts := core.Options{
 		Radius:        c.Radius,
@@ -67,25 +73,11 @@ func (c Config) options() (core.Options, error) {
 		TopM:          c.TopM,
 		Engine:        c.Engine,
 	}
-	switch c.Weights {
-	case "", "inverse-chs":
-		opts.Weights = core.InverseCHS
-	case "uniform":
-		opts.Weights = core.UniformWeight
-	case "exp-decay":
-		opts.Weights = core.ExpDecay
-	default:
-		return opts, fmt.Errorf("hammer: unknown weight scheme %q", c.Weights)
-	}
-	if err := core.ValidateEngine(c.Engine); err != nil {
+	scheme, err := core.ParseWeightScheme(c.Weights)
+	if err != nil {
 		return opts, fmt.Errorf("hammer: %w", err)
 	}
-	if c.Radius < 0 {
-		return opts, fmt.Errorf("hammer: negative radius %d", c.Radius)
-	}
-	if c.TopM < 0 {
-		return opts, fmt.Errorf("hammer: negative TopM %d", c.TopM)
-	}
+	opts.Weights = scheme
 	return opts, nil
 }
 
@@ -114,22 +106,16 @@ func RunCounts(counts map[string]int) (map[string]float64, error) {
 	return Run(h)
 }
 
-// RunWithConfig applies HAMMER with explicit options.
+// RunWithConfig applies HAMMER with explicit options. It is a thin wrapper
+// over a single-use Reconstructor; callers reconstructing repeatedly should
+// hold a Reconstructor (or use RunBatch) to reuse the per-request state this
+// form rebuilds every call.
 func RunWithConfig(histogram map[string]float64, cfg Config) (map[string]float64, error) {
-	opts, err := cfg.options()
+	r, err := NewReconstructor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	d, n, err := toDist(histogram)
-	if err != nil {
-		return nil, err
-	}
-	out := core.Reconstruct(d, opts).Out
-	res := make(map[string]float64, out.Len())
-	out.Range(func(x bitstr.Bits, p float64) {
-		res[bitstr.Format(x, n)] = p
-	})
-	return res, nil
+	return r.Reconstruct(context.Background(), histogram)
 }
 
 // PST returns the Probability of a Successful Trial (Eq. 3): the total
@@ -191,36 +177,14 @@ func Spectrum(histogram map[string]float64, correct []string) ([]float64, error)
 	return hamming.NewSpectrum(d, cs).Bins, nil
 }
 
+// toDist parses a histogram through the shared dist-layer converter (also
+// used by the scheduler-backed serving paths), attaching the facade's error
+// prefix.
 func toDist(histogram map[string]float64) (*dist.Dist, int, error) {
-	if len(histogram) == 0 {
-		return nil, 0, fmt.Errorf("hammer: empty histogram")
+	d, n, err := dist.FromHistogram(histogram)
+	if err != nil {
+		return nil, 0, fmt.Errorf("hammer: %w", err)
 	}
-	n := -1
-	for k := range histogram {
-		if n == -1 {
-			n = len(k)
-		} else if len(k) != n {
-			return nil, 0, fmt.Errorf("hammer: mixed key lengths (%d and %d bits)", n, len(k))
-		}
-	}
-	if n == 0 || n > bitstr.MaxBits {
-		return nil, 0, fmt.Errorf("hammer: key length %d out of range [1,%d]", n, bitstr.MaxBits)
-	}
-	d := dist.New(n)
-	for k, v := range histogram {
-		x, err := bitstr.Parse(k)
-		if err != nil {
-			return nil, 0, err
-		}
-		if v < 0 {
-			return nil, 0, fmt.Errorf("hammer: negative mass %v for %q", v, k)
-		}
-		d.Add(x, v)
-	}
-	if d.Total() <= 0 {
-		return nil, 0, fmt.Errorf("hammer: histogram has no mass")
-	}
-	d.Normalize()
 	return d, n, nil
 }
 

@@ -1,8 +1,14 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/dist"
 )
+
+func init() {
+	Register(Registration{Name: EngineBucketed, Engine: bucketedEngine{}})
+}
 
 // bucketedEngine computes Algorithm 1 through the popcount-bucketed index of
 // the dist package. Two structural changes make it faster than the exact
@@ -28,12 +34,16 @@ import (
 // side i can receive filtered credit, so each worker writes only the A-rows
 // of the ranks it owns — no synchronization needed. The DisableFilter
 // ablation credits both sides, so that (rare) path keeps per-worker A slabs
-// and reduces them afterwards.
+// and reduces them afterwards (and, unlike the default path, allocates them
+// fresh per call).
+//
+// The index and the A matrix live in the Scratch, rebuilt in place per call,
+// so a warmed-up session pays no allocation for either.
 type bucketedEngine struct{}
 
 func (bucketedEngine) Name() string { return EngineBucketed }
 
-func (bucketedEngine) Score(p *Problem) ([]float64, []float64, []float64) {
+func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float64, []float64, []float64, error) {
 	N := len(p.Outs)
 	maxD := p.MaxD
 	stride := maxD + 1
@@ -44,12 +54,17 @@ func (bucketedEngine) Score(p *Problem) ([]float64, []float64, []float64) {
 	if workers < 1 {
 		workers = 1
 	}
+	done := ctx.Done()
 
-	entries := make([]dist.Entry, N)
+	if cap(s.entries) < N {
+		s.entries = make([]dist.Entry, N)
+	}
+	s.entries = s.entries[:N]
+	entries := s.entries
 	for i := range entries {
 		entries[i] = dist.Entry{X: p.Outs[i], P: p.Probs[i]}
 	}
-	ix := dist.NewIndexOf(p.NumBits, entries)
+	ix := s.index(p.NumBits, entries)
 	ranked := ix.Ranked()
 
 	// A[r*stride+d] is the admitted neighborhood strength of the rank-r
@@ -58,44 +73,36 @@ func (bucketedEngine) Score(p *Problem) ([]float64, []float64, []float64) {
 	// worker instead and reduces below.
 	shared := !p.DisableFilter || workers == 1
 	var acc []float64
-	slabs := make([][]float64, workers)
+	var slabs [][]float64
 	if shared {
-		acc = make([]float64, N*stride)
+		s.acc = growFloats(s.acc, N*stride)
+		acc = s.acc
+		zeroFloats(acc)
+	} else {
+		slabs = make([][]float64, workers)
 	}
-	chsPartial := make([][]float64, workers)
-	parallelStride(N, workers, func(wk, start, wstride int) {
-		local := make([]float64, stride)
-		rows := acc
-		if !shared {
-			rows = make([]float64, N*stride)
-			slabs[wk] = rows
-		}
-		for i := start; i < N; i += wstride {
-			e := ranked[i]
-			// Self pair: d=0 contributes P(x) once per x.
-			local[0] += e.P
-			row := rows[i*stride : i*stride+stride]
-			ix.RangePairsAfter(e, maxD, func(f dist.IndexEntry, d int) {
-				local[d] += e.P + f.P
-				if p.DisableFilter {
-					row[d] += f.P
-					rows[f.Rank*stride+d] += e.P
-				} else if f.P < e.P {
-					// Ranks below i hold strictly lower probability or
-					// equal probability (no credit either way), so the
-					// admitted set is exactly {f : P(f) < P(e)}.
-					row[d] += f.P
-				}
-			})
-		}
-		chsPartial[wk] = local
-	})
+	chsPartial := s.chsRows(workers, stride)
+	if workers <= 1 {
+		bucketedPass(done, ix, maxD, p.DisableFilter, chsPartial[0], acc, 0, 1)
+	} else {
+		accShared := acc // captured read-only: keeps acc itself off the heap
+		parallelStride(N, workers, func(wk, start, wstride int) {
+			rows := accShared
+			if !shared {
+				rows = make([]float64, N*stride)
+				slabs[wk] = rows
+			}
+			bucketedPass(done, ix, maxD, p.DisableFilter, chsPartial[wk], rows, start, wstride)
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
 
-	chs := make([]float64, stride)
+	s.chs = growFloats(s.chs, stride)
+	chs := s.chs
+	zeroFloats(chs)
 	for _, local := range chsPartial {
-		if local == nil {
-			continue
-		}
 		for d, v := range local {
 			chs[d] += v
 		}
@@ -112,17 +119,50 @@ func (bucketedEngine) Score(p *Problem) ([]float64, []float64, []float64) {
 		}
 	}
 
-	w := weights(chs, maxD, p.Scheme)
+	s.w = growFloats(s.w, stride)
+	w := weightsInto(s.w, chs, maxD, p.Scheme)
 
-	scores := make([]float64, N)
+	s.scores = growFloats(s.scores, N)
+	scores := s.scores
 	for r := range ranked {
 		e := &ranked[r]
-		s := e.P
+		sc := e.P
 		row := acc[r*stride : r*stride+stride]
 		for d := 0; d <= maxD; d++ {
-			s += w[d] * row[d]
+			sc += w[d] * row[d]
 		}
-		scores[e.Ord] = s * e.P
+		scores[e.Ord] = sc * e.P
 	}
-	return chs, w, scores
+	return chs, w, scores, nil
+}
+
+// bucketedPass runs one worker's share of the fused triangular pass — ranks
+// start, start+stride, ... — accumulating its CHS row into local and admitted
+// neighborhood strengths into rows (the shared A matrix on the filtered path,
+// a private slab on the ablation path).
+func bucketedPass(done <-chan struct{}, ix *dist.Index, maxD int, disableFilter bool, local, rows []float64, start, wstride int) {
+	ranked := ix.Ranked()
+	N := len(ranked)
+	stride := maxD + 1
+	for i := start; i < N; i += wstride {
+		if canceled(done) {
+			return
+		}
+		e := ranked[i]
+		// Self pair: d=0 contributes P(x) once per x.
+		local[0] += e.P
+		row := rows[i*stride : i*stride+stride]
+		ix.RangePairsAfter(e, maxD, func(f dist.IndexEntry, d int) {
+			local[d] += e.P + f.P
+			if disableFilter {
+				row[d] += f.P
+				rows[f.Rank*stride+d] += e.P
+			} else if f.P < e.P {
+				// Ranks below i hold strictly lower probability or
+				// equal probability (no credit either way), so the
+				// admitted set is exactly {f : P(f) < P(e)}.
+				row[d] += f.P
+			}
+		})
+	}
 }

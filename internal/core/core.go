@@ -14,20 +14,28 @@
 // from rich neighborhoods. The reconstructed distribution is L normalized.
 //
 // The pairwise scan that dominates the cost is delegated to a pluggable
-// Engine (engine.go): "exact" is the reference O(N²) loop matching
-// Algorithm 1 line by line, "bucketed" computes the same quantities through
-// the popcount-bucketed index of the dist package in a single merged
-// triangular pass. Both produce identical reconstructions up to float64
-// rounding; selection is automatic by support size unless Options.Engine
-// pins one.
+// Engine (engine.go), selected by name through a registry the engines
+// self-register into (registry.go): "exact" is the reference O(N²) loop
+// matching Algorithm 1 line by line, "bucketed" computes the same quantities
+// through the popcount-bucketed index of the dist package in a single merged
+// triangular pass, and "incremental" is the streaming-only state of
+// incremental.go. Both batch engines produce identical reconstructions up to
+// float64 rounding; selection is automatic by support size unless
+// Options.Engine pins one.
+//
+// The package is request-oriented: a Session (session.go) holds one
+// validated set of Options plus every scratch buffer a reconstruction needs,
+// so repeated reconstructions are allocation-free after warm-up and a
+// context canceled mid-request aborts the parallel scans. Reconstruct/Run
+// are the one-shot conveniences over a throwaway session; the scheduler
+// (internal/sched) pools sessions to serve concurrent request traffic.
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sort"
 
-	"repro/internal/bitstr"
 	"repro/internal/dist"
 )
 
@@ -60,6 +68,22 @@ func (w WeightScheme) String() string {
 	}
 }
 
+// ParseWeightScheme resolves the string names the facade and CLIs accept
+// ("inverse-chs" — or empty — "uniform", "exp-decay") so the vocabulary lives
+// in one place.
+func ParseWeightScheme(name string) (WeightScheme, error) {
+	switch name {
+	case "", "inverse-chs":
+		return InverseCHS, nil
+	case "uniform":
+		return UniformWeight, nil
+	case "exp-decay":
+		return ExpDecay, nil
+	default:
+		return 0, fmt.Errorf("unknown weight scheme %q", name)
+	}
+}
+
 // Options configure a reconstruction. The zero value reproduces Algorithm 1
 // exactly.
 type Options struct {
@@ -88,10 +112,11 @@ type Options struct {
 	// with very long tails; TopM >= N reproduces the exact algorithm.
 	TopM int
 
-	// Engine selects the pairwise scoring engine: EngineAuto (or empty)
-	// picks by support size, EngineExact forces the reference O(N²) loop,
-	// EngineBucketed forces the popcount-bucketed index engine. Unknown
-	// names panic; the public facade validates them into errors.
+	// Engine selects the pairwise scoring engine by registry name:
+	// EngineAuto (or empty) picks by support size, EngineExact forces the
+	// reference O(N²) loop, EngineBucketed forces the popcount-bucketed
+	// index engine. Unknown and streaming-only names flow back as errors
+	// from NewSession (the one-shot Reconstruct wrapper panics on them).
 	Engine string
 }
 
@@ -140,38 +165,23 @@ type Result struct {
 // Reconstruct applies HAMMER with the given options and returns the full
 // result. The input distribution is not modified; it is treated as already
 // normalized (Counts.Dist output qualifies).
+//
+// It is the one-shot convenience form of a Session: a fresh session is built
+// and discarded per call, so the result is independently owned. Invalid
+// options and empty inputs panic, preserving the historical contract; the
+// session and facade paths surface the same conditions as errors. Repeated
+// reconstructions should hold a Session (or go through the scheduler) to
+// reuse the scratch state this form throws away.
 func Reconstruct(in *dist.Dist, opts Options) *Result {
-	if opts.TopM < 0 {
-		panic(fmt.Sprintf("core: negative TopM %d", opts.TopM))
+	s, err := NewSession(opts)
+	if err != nil {
+		panic(err)
 	}
-	n := in.NumBits()
-	maxD := opts.radius(n)
-	outs, probs, tail := flattenTop(in, opts.TopM)
-	N := len(outs)
-	if N == 0 {
-		panic("core: cannot reconstruct empty distribution")
+	res, err := s.Reconstruct(context.Background(), in)
+	if err != nil {
+		panic(err)
 	}
-	eng := engineFor(opts.Engine, N)
-	chs, w, scores := eng.Score(&Problem{
-		NumBits:       n,
-		Outs:          outs,
-		Probs:         probs,
-		MaxD:          maxD,
-		Scheme:        opts.Weights,
-		DisableFilter: opts.DisableFilter,
-		Workers:       opts.workers(),
-	})
-
-	out := dist.New(n)
-	for i, x := range outs {
-		out.Set(x, scores[i])
-	}
-	// Truncated tail outcomes score as isolated: L(x) = Pr(x)².
-	for _, e := range tail {
-		out.Set(e.X, e.P*e.P)
-	}
-	out.Normalize()
-	return &Result{Out: out, GlobalCHS: chs, Weights: w, Radius: maxD, Engine: eng.Name()}
+	return res
 }
 
 // Run is the convenience form of Reconstruct: default options, returning
@@ -187,39 +197,18 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// flattenTop extracts parallel outcome/probability slices in deterministic
-// ascending outcome order. When topM > 0 and the support is larger, only
-// the topM most probable outcomes are returned and the rest come back as
-// the tail.
-func flattenTop(d *dist.Dist, topM int) ([]bitstr.Bits, []float64, []dist.Entry) {
-	if topM <= 0 || d.Len() <= topM {
-		outs := d.Outcomes()
-		probs := make([]float64, len(outs))
-		for i, x := range outs {
-			probs[i] = d.Prob(x)
-		}
-		return outs, probs, nil
-	}
-	top := d.TopK(d.Len())
-	head, tail := top[:topM], top[topM:]
-	// Restore deterministic ascending order within the head.
-	sort.Slice(head, func(i, j int) bool { return head[i].X < head[j].X })
-	outs := make([]bitstr.Bits, len(head))
-	probs := make([]float64, len(head))
-	for i, e := range head {
-		outs[i] = e.X
-		probs[i] = e.P
-	}
-	return outs, probs, tail
+// weights derives the per-distance weight vector from the global CHS
+// (Algorithm 1, step 2). All engines share it; weightsInto is the
+// buffer-reusing form the batch engines call with scratch state.
+func weights(chs []float64, maxD int, scheme WeightScheme) []float64 {
+	return weightsInto(make([]float64, maxD+1), chs, maxD, scheme)
 }
 
-// weights derives the per-distance weight vector from the global CHS
-// (Algorithm 1, step 2). Both engines share it.
-func weights(chs []float64, maxD int, scheme WeightScheme) []float64 {
-	w := make([]float64, maxD+1)
+func weightsInto(w, chs []float64, maxD int, scheme WeightScheme) []float64 {
 	for d := 0; d <= maxD; d++ {
 		switch scheme {
 		case InverseCHS:
+			w[d] = 0
 			if chs[d] > 0 {
 				w[d] = 1 / chs[d]
 			}

@@ -1,13 +1,16 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sync"
 
 	"repro/internal/bitstr"
 )
 
-// Engine names accepted by Options.Engine and the public facade.
+// Engine names accepted by Options.Engine and the public facade. The built-in
+// engines self-register into the registry (registry.go) from their init
+// functions; EngineAuto is not a registration but a per-problem policy over
+// the registered engines.
 const (
 	// EngineAuto (or the empty string) selects the engine by support
 	// size: small problems run the reference loop, everything else the
@@ -45,43 +48,31 @@ type Problem struct {
 // (step 3), aligned with Problem.Outs. Implementations must be
 // deterministic for a fixed worker count and must agree with the exact
 // engine up to float64 rounding.
+//
+// The scratch argument is never nil: the built-in engines draw every
+// intermediate buffer from it so a Session reconstructing repeatedly is
+// allocation-free after warm-up, and the returned slices alias it (valid
+// until the next Score call with the same scratch). Third-party engines may
+// ignore it and allocate. A canceled context aborts the parallel scans
+// between outcome rows and surfaces as a non-nil error; on error the
+// returned slices are meaningless.
 type Engine interface {
 	Name() string
-	Score(p *Problem) (chs, w, scores []float64)
+	Score(ctx context.Context, p *Problem, s *Scratch) (chs, w, scores []float64, err error)
 }
 
-// EngineNames lists the accepted Options.Engine values.
-func EngineNames() []string {
-	return []string{EngineAuto, EngineExact, EngineBucketed}
-}
-
-// ValidateEngine reports whether name is an accepted Options.Engine value
-// (the empty string selects auto). Facades and CLIs share it so the accepted
-// list lives in one place.
-func ValidateEngine(name string) error {
-	switch name {
-	case "", EngineAuto, EngineExact, EngineBucketed:
-		return nil
-	default:
-		return fmt.Errorf("unknown engine %q (want one of %v)", name, EngineNames())
+// canceled is the per-row cancellation probe of the parallel scans: a
+// non-blocking read of ctx.Done(), cheap enough for the outer loops of the
+// quadratic passes (each row amortizes it over O(N) pair work).
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
 	}
-}
-
-// engineFor resolves an engine name, applying auto-selection over the
-// support size n. Unknown names panic; the facade validates user input.
-func engineFor(name string, n int) Engine {
-	switch name {
-	case "", EngineAuto:
-		if n >= autoEngineThreshold {
-			return bucketedEngine{}
-		}
-		return exactEngine{}
-	case EngineExact:
-		return exactEngine{}
-	case EngineBucketed:
-		return bucketedEngine{}
+	select {
+	case <-done:
+		return true
 	default:
-		panic(fmt.Sprintf("core: unknown engine %q", name))
+		return false
 	}
 }
 

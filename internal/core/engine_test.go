@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/bitstr"
@@ -170,9 +171,65 @@ func TestEngineAutoSelection(t *testing.T) {
 }
 
 func TestEngineNames(t *testing.T) {
+	// Auto leads, then the registered batch engines in sorted order. The
+	// streaming-only incremental registration must not appear: it is not a
+	// valid batch selection.
 	names := EngineNames()
-	if len(names) != 3 || names[0] != EngineAuto || names[1] != EngineExact || names[2] != EngineBucketed {
+	if len(names) != 3 || names[0] != EngineAuto || names[1] != EngineBucketed || names[2] != EngineExact {
 		t.Fatalf("EngineNames = %v", names)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{EngineExact, EngineBucketed} {
+		r, ok := Lookup(name)
+		if !ok || r.Engine == nil || r.Streaming {
+			t.Errorf("Lookup(%q) = %+v, %v", name, r, ok)
+		}
+	}
+	r, ok := Lookup(EngineIncremental)
+	if !ok || r.Engine != nil || !r.Streaming {
+		t.Errorf("Lookup(incremental) = %+v, %v", r, ok)
+	}
+	if _, ok := Lookup("fpga"); ok {
+		t.Error("unknown engine resolved")
+	}
+	// Auto is a policy, not a registration.
+	if _, ok := Lookup(EngineAuto); ok {
+		t.Error("auto is registered")
+	}
+	for _, name := range []string{"", EngineAuto, EngineExact, EngineBucketed} {
+		if err := ValidateEngine(name); err != nil {
+			t.Errorf("ValidateEngine(%q) = %v", name, err)
+		}
+	}
+	if err := ValidateEngine("fpga"); err == nil {
+		t.Error("unknown engine validated")
+	}
+	// Streaming-only engines are invalid batch selections, with a
+	// distinguishable message.
+	if err := ValidateEngine(EngineIncremental); err == nil {
+		t.Error("streaming-only engine validated for batch")
+	} else if !strings.Contains(err.Error(), "streaming-only") {
+		t.Errorf("incremental rejection reads %q", err)
+	}
+}
+
+func TestRegisterRejectsBadRegistrations(t *testing.T) {
+	for name, reg := range map[string]Registration{
+		"empty name":    {Name: "", Engine: exactEngine{}},
+		"reserved auto": {Name: EngineAuto, Engine: exactEngine{}},
+		"duplicate":     {Name: EngineExact, Engine: exactEngine{}},
+		"no engine":     {Name: "hollow"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Register(reg)
+		}()
 	}
 }
 

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"cmp"
+	"context"
+	"errors"
+	"fmt"
+	"slices"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+// Scratch holds the reusable buffers the built-in engines draw their
+// intermediate state from: the CHS/weight/score vectors, the per-worker CHS
+// accumulator rows, and (for the bucketed engine) the index entries, the
+// popcount-bucketed index itself, and the per-rank neighborhood matrix. The
+// zero value is ready; buffers grow to the high-water mark of the problems
+// scored through it and are reused thereafter, so a warmed-up Scratch makes
+// repeated reconstructions allocation-free. It is owned by one Session (or
+// one Score call chain) at a time and must not be shared concurrently.
+type Scratch struct {
+	chs, w, scores []float64
+
+	// Per-worker CHS accumulator rows, carved out of one backing buffer.
+	// Rows are padded to cache-line multiples so workers accumulating into
+	// adjacent rows do not false-share.
+	partial    [][]float64
+	partialBuf []float64
+
+	// Bucketed engine state: the flattened index entries, the reusable
+	// popcount-bucketed index, and the per-rank admitted-strength matrix.
+	entries []dist.Entry
+	ix      *dist.Index
+	acc     []float64
+}
+
+// growFloats returns buf resized to n, reallocating only when capacity is
+// exceeded. Contents are unspecified; callers that need zeroes zero them.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func zeroFloats(f []float64) {
+	for i := range f {
+		f[i] = 0
+	}
+}
+
+// chsRows returns `workers` zeroed accumulator rows of length stride, backed
+// by one reused buffer with cache-line padding between rows.
+func (s *Scratch) chsRows(workers, stride int) [][]float64 {
+	const pad = 16 // floats per 128-byte padding unit
+	rowStride := (stride + pad - 1) / pad * pad
+	need := workers * rowStride
+	s.partialBuf = growFloats(s.partialBuf, need)
+	zeroFloats(s.partialBuf)
+	if cap(s.partial) < workers {
+		s.partial = make([][]float64, workers)
+	}
+	s.partial = s.partial[:workers]
+	for w := 0; w < workers; w++ {
+		s.partial[w] = s.partialBuf[w*rowStride : w*rowStride+stride : w*rowStride+rowStride]
+	}
+	return s.partial
+}
+
+// index returns the scratch's reusable index, rebuilt in place over the given
+// entries.
+func (s *Scratch) index(n int, entries []dist.Entry) *dist.Index {
+	if s.ix == nil {
+		s.ix = new(dist.Index)
+	}
+	return s.ix.Reset(n, entries)
+}
+
+// Session is reusable reconstruction state: one validated set of Options plus
+// every scratch buffer the pipeline needs — flattened outcome/probability
+// slices, the engine Scratch, and the output distribution. After the first
+// reconstruction warms the buffers up, repeated Reconstruct calls on
+// similarly sized problems allocate nothing (the TopM truncation path and the
+// DisableFilter multi-worker ablation still allocate small sort/slab state).
+//
+// The returned Result — including Out, GlobalCHS, and Weights — is owned by
+// the session and overwritten by the next Reconstruct call; callers that need
+// it longer copy what they keep. A Session is not safe for concurrent use:
+// the scheduler pools sessions, handing each request its own.
+type Session struct {
+	opts Options
+
+	entries []dist.Entry // flattened input, ascending outcome order
+	outs    []bitstr.Bits
+	probs   []float64
+
+	prob    Problem
+	scratch Scratch
+
+	out *dist.Dist
+	res Result
+}
+
+// NewSession validates the options once and returns a reusable session.
+// Invalid options — negative radius or TopM, an unknown weight scheme, an
+// unknown or streaming-only engine — come back as errors; this is the single
+// validation point the facades and the scheduler rely on.
+func NewSession(opts Options) (*Session, error) {
+	if opts.Radius < 0 {
+		return nil, fmt.Errorf("core: negative radius %d", opts.Radius)
+	}
+	if opts.TopM < 0 {
+		return nil, fmt.Errorf("core: negative TopM %d", opts.TopM)
+	}
+	switch opts.Weights {
+	case InverseCHS, UniformWeight, ExpDecay:
+	default:
+		return nil, fmt.Errorf("core: unknown weight scheme %d", opts.Weights)
+	}
+	if err := ValidateEngine(opts.Engine); err != nil {
+		return nil, err
+	}
+	return &Session{opts: opts}, nil
+}
+
+// Options returns the session's validated options.
+func (s *Session) Options() Options { return s.opts }
+
+// Reconstruct applies HAMMER to the input distribution, reusing the session's
+// buffers. The input is treated as already normalized and is not modified.
+// The context cancels the parallel scoring scans; on cancellation the error
+// is ctx.Err() and the session remains reusable. The result is owned by the
+// session (see the type comment).
+func (s *Session) Reconstruct(ctx context.Context, in *dist.Dist) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if in == nil || in.Len() == 0 {
+		return nil, errors.New("core: cannot reconstruct empty distribution")
+	}
+	n := in.NumBits()
+	maxD := s.opts.radius(n)
+	outs, probs, tail := s.flatten(in)
+	eng, err := resolve(s.opts.Engine, len(outs))
+	if err != nil {
+		return nil, err
+	}
+	s.prob = Problem{
+		NumBits:       n,
+		Outs:          outs,
+		Probs:         probs,
+		MaxD:          maxD,
+		Scheme:        s.opts.Weights,
+		DisableFilter: s.opts.DisableFilter,
+		Workers:       s.opts.workers(),
+	}
+	chs, w, scores, err := eng.Score(ctx, &s.prob, &s.scratch)
+	if err != nil {
+		return nil, err
+	}
+
+	if s.out == nil || s.out.NumBits() != n {
+		s.out = dist.New(n)
+	} else {
+		s.out.Reset()
+	}
+	out := s.out
+	for i, x := range outs {
+		out.Set(x, scores[i])
+	}
+	// Truncated tail outcomes score as isolated: L(x) = Pr(x)².
+	for _, e := range tail {
+		out.Set(e.X, e.P*e.P)
+	}
+	out.Normalize()
+	s.res = Result{Out: out, GlobalCHS: chs, Weights: w, Radius: maxD, Engine: eng.Name()}
+	return &s.res, nil
+}
+
+// flatten extracts parallel outcome/probability slices in deterministic
+// ascending outcome order into the session's buffers. When TopM is active and
+// the support is larger, only the TopM most probable outcomes are returned
+// and the rest come back as the tail (in descending-probability order, the
+// order the tail-scoring loop consumes them in). The orders are exactly those
+// of the historical one-shot path, so reconstructions stay bit-identical.
+func (s *Session) flatten(d *dist.Dist) ([]bitstr.Bits, []float64, []dist.Entry) {
+	s.entries = s.entries[:0]
+	d.Range(func(x bitstr.Bits, p float64) {
+		s.entries = append(s.entries, dist.Entry{X: x, P: p})
+	})
+	flat := s.entries
+	var tail []dist.Entry
+	if topM := s.opts.TopM; topM > 0 && len(flat) > topM {
+		// Stable rank-order sort, then restore ascending order within the
+		// head — the same two sorts (over the same starting order) TopK and
+		// the historical flattenTop performed. Outcomes are unique, so both
+		// orders are total and the results are identical permutations
+		// regardless of algorithm.
+		slices.SortStableFunc(s.entries, dist.CompareByProb)
+		head := s.entries[:topM]
+		slices.SortFunc(head, func(a, b dist.Entry) int { return cmp.Compare(a.X, b.X) })
+		flat, tail = head, s.entries[topM:]
+	}
+	s.outs = s.outs[:0]
+	s.probs = s.probs[:0]
+	for _, e := range flat {
+		s.outs = append(s.outs, e.X)
+		s.probs = append(s.probs, e.P)
+	}
+	return s.outs, s.probs, tail
+}

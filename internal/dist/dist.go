@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -39,6 +40,25 @@ type Entry struct {
 	P float64
 }
 
+// CompareByProb is the canonical rank order — descending probability, ties
+// broken by ascending outcome. TopK, the Index, and the core's TopM
+// truncation all sort by it, so the definition lives in exactly one place.
+func CompareByProb(a, b Entry) int {
+	if a.P != b.P {
+		if a.P > b.P {
+			return -1
+		}
+		return 1
+	}
+	if a.X != b.X {
+		if a.X < b.X {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Dist is a sparse probability distribution over n-bit outcomes. The zero
 // value is not usable; construct with New. Iteration (Range, Outcomes,
 // String) is always in ascending outcome order, so results never depend on
@@ -46,7 +66,8 @@ type Entry struct {
 type Dist struct {
 	n     int
 	p     map[bitstr.Bits]float64
-	keys  []bitstr.Bits // sorted cache of the support; nil when stale
+	keys  []bitstr.Bits // sorted cache of the support; rebuilt when stale
+	stale bool
 	total float64
 }
 
@@ -55,7 +76,18 @@ func New(n int) *Dist {
 	if n < 1 || n > bitstr.MaxBits {
 		panic(fmt.Sprintf("dist: width %d out of range [1,%d]", n, bitstr.MaxBits))
 	}
-	return &Dist{n: n, p: make(map[bitstr.Bits]float64)}
+	return &Dist{n: n, p: make(map[bitstr.Bits]float64), stale: true}
+}
+
+// Reset empties the distribution in place, keeping the allocated map and key
+// cache so the next fill of a similar support is allocation-free. It returns
+// the distribution for chaining.
+func (d *Dist) Reset() *Dist {
+	clear(d.p)
+	d.keys = d.keys[:0]
+	d.stale = true
+	d.total = 0
+	return d
 }
 
 // NumBits returns the outcome width in bits.
@@ -85,7 +117,7 @@ func (d *Dist) Set(x bitstr.Bits, p float64) {
 	d.p[x] = p
 	d.total += p - old
 	if !ok {
-		d.keys = nil
+		d.stale = true
 	}
 }
 
@@ -93,7 +125,7 @@ func (d *Dist) Set(x bitstr.Bits, p float64) {
 func (d *Dist) Add(x bitstr.Bits, p float64) {
 	d.check(x)
 	if _, ok := d.p[x]; !ok {
-		d.keys = nil
+		d.stale = true
 	}
 	d.p[x] += p
 	d.total += p
@@ -114,12 +146,15 @@ func (d *Dist) Normalize() *Dist {
 }
 
 func (d *Dist) sortedKeys() []bitstr.Bits {
-	if d.keys == nil {
-		d.keys = make([]bitstr.Bits, 0, len(d.p))
+	if d.stale {
+		d.keys = d.keys[:0]
 		for x := range d.p {
 			d.keys = append(d.keys, x)
 		}
-		sort.Slice(d.keys, func(i, j int) bool { return d.keys[i] < d.keys[j] })
+		// The generic slices sort keeps this hot rebuild free of the
+		// reflection allocations sort.Slice would add.
+		slices.Sort(d.keys)
+		d.stale = false
 	}
 	return d.keys
 }
@@ -144,12 +179,7 @@ func (d *Dist) TopK(k int) []Entry {
 	for _, x := range d.sortedKeys() {
 		es = append(es, Entry{X: x, P: d.p[x]})
 	}
-	sort.SliceStable(es, func(i, j int) bool {
-		if es[i].P != es[j].P {
-			return es[i].P > es[j].P
-		}
-		return es[i].X < es[j].X
-	})
+	slices.SortStableFunc(es, CompareByProb)
 	if k < 0 {
 		k = 0
 	}

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitstr"
+)
+
+// FromHistogram parses a string-keyed probability (or count) histogram — the
+// wire form quantum backends and the HTTP API exchange — into a normalized
+// sparse distribution, returning the outcome width alongside. All keys must
+// share one length; masses must be non-negative with positive total. Error
+// text carries no package prefix so facades can attach their own.
+//
+// Mass accumulates in ascending outcome order, so the normalization total —
+// and therefore every output bit — is independent of Go's randomized map
+// iteration: identical histograms give identical distributions across
+// processes.
+func FromHistogram(histogram map[string]float64) (*Dist, int, error) {
+	if len(histogram) == 0 {
+		return nil, 0, fmt.Errorf("empty histogram")
+	}
+	n := -1
+	for k := range histogram {
+		if n == -1 {
+			n = len(k)
+		} else if len(k) != n {
+			return nil, 0, fmt.Errorf("mixed key lengths (%d and %d bits)", n, len(k))
+		}
+	}
+	if n == 0 || n > bitstr.MaxBits {
+		return nil, 0, fmt.Errorf("key length %d out of range [1,%d]", n, bitstr.MaxBits)
+	}
+	type entry struct {
+		x bitstr.Bits
+		v float64
+	}
+	entries := make([]entry, 0, len(histogram))
+	for k, v := range histogram {
+		x, err := bitstr.Parse(k)
+		if err != nil {
+			return nil, 0, err
+		}
+		if v < 0 {
+			return nil, 0, fmt.Errorf("negative mass %v for %q", v, k)
+		}
+		entries = append(entries, entry{x, v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].x < entries[j].x })
+	d := New(n)
+	for _, e := range entries {
+		d.Add(e.x, e.v)
+	}
+	if d.Total() <= 0 {
+		return nil, 0, fmt.Errorf("histogram has no mass")
+	}
+	d.Normalize()
+	return d, n, nil
+}
+
+// ToHistogram formats a sparse distribution back into the string-keyed wire
+// form, most significant qubit first.
+func ToHistogram(d *Dist) map[string]float64 {
+	out := make(map[string]float64, d.Len())
+	n := d.NumBits()
+	d.Range(func(x bitstr.Bits, p float64) {
+		out[bitstr.Format(x, n)] = p
+	})
+	return out
+}

@@ -7,6 +7,7 @@ package dist
 
 import (
 	"math/bits"
+	"slices"
 	"sort"
 
 	"repro/internal/bitstr"
@@ -50,30 +51,48 @@ func NewIndex(d *Dist) *Index {
 // (Dist.TopK output re-sorted, or Dist.Range accumulation, both qualify);
 // their masses need not be normalized.
 func NewIndexOf(n int, entries []Entry) *Index {
-	ix := &Index{
-		n:       n,
-		ranked:  make([]IndexEntry, len(entries)),
-		buckets: make([][]IndexEntry, n+1),
+	return new(Index).Reset(n, entries)
+}
+
+// rankedOrder applies the canonical CompareByProb rank order to index
+// entries. The generic slices sort keeps Reset free of the reflection
+// allocations sort.SliceStable would add on every rebuild.
+func rankedOrder(a, b IndexEntry) int {
+	return CompareByProb(Entry{X: a.X, P: a.P}, Entry{X: b.X, P: b.P})
+}
+
+// Reset rebuilds the index in place over a new outcome set, reusing the
+// ranked slice and per-weight bucket backing arrays of previous builds so a
+// session reconstructing repeatedly is allocation-free after warm-up. The
+// entry contract is the same as NewIndexOf's; the receiver is returned for
+// chaining. The rebuilt index is bit-identical to a fresh NewIndexOf build:
+// the rank order is the unique stable order, and buckets are refilled in
+// ascending-rank order exactly as a fresh build fills them.
+func (ix *Index) Reset(n int, entries []Entry) *Index {
+	ix.n = n
+	if cap(ix.ranked) < len(entries) {
+		ix.ranked = make([]IndexEntry, len(entries))
+	} else {
+		ix.ranked = ix.ranked[:len(entries)]
 	}
 	for i, e := range entries {
 		ix.ranked[i] = IndexEntry{X: e.X, P: e.P, W: bits.OnesCount64(e.X), Ord: i}
 	}
-	sort.SliceStable(ix.ranked, func(i, j int) bool {
-		if ix.ranked[i].P != ix.ranked[j].P {
-			return ix.ranked[i].P > ix.ranked[j].P
-		}
-		return ix.ranked[i].X < ix.ranked[j].X
-	})
-	sizes := make([]int, n+1)
+	slices.SortStableFunc(ix.ranked, rankedOrder)
+	if cap(ix.buckets) < n+1 {
+		buckets := make([][]IndexEntry, n+1)
+		copy(buckets, ix.buckets) // keep the capacity of previously grown buckets
+		ix.buckets = buckets
+	} else {
+		ix.buckets = ix.buckets[:n+1]
+	}
+	for w := range ix.buckets {
+		ix.buckets[w] = ix.buckets[w][:0]
+	}
 	for i := range ix.ranked {
 		ix.ranked[i].Rank = i
-		sizes[ix.ranked[i].W]++
-	}
-	for w, sz := range sizes {
-		ix.buckets[w] = make([]IndexEntry, 0, sz)
-	}
-	for _, e := range ix.ranked {
-		ix.buckets[e.W] = append(ix.buckets[e.W], e)
+		w := ix.ranked[i].W
+		ix.buckets[w] = append(ix.buckets[w], ix.ranked[i])
 	}
 	return ix
 }

@@ -75,6 +75,81 @@ func TestImprovementAggregation(t *testing.T) {
 	}
 }
 
+func TestPSTSingleOutcomeHistogram(t *testing.T) {
+	// A support-1 histogram: PST is 1 when the outcome is correct, 0 when
+	// the correct outcome was never observed.
+	d := dist.New(4)
+	d.Set(0b1010, 1)
+	if got := PST(d, []bitstr.Bits{0b1010}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("PST correct singleton = %v", got)
+	}
+	if got := PST(d, []bitstr.Bits{0b0101}); got != 0 {
+		t.Errorf("PST unobserved correct = %v", got)
+	}
+}
+
+func TestISTSingleOutcomeHistogram(t *testing.T) {
+	// Support-1, incorrect outcome: the correct outcome has zero mass, the
+	// top incorrect carries everything — IST is exactly 0, not a panic (an
+	// incorrect outcome was observed, so the ratio is well defined).
+	d := dist.New(4)
+	d.Set(0b1111, 1)
+	if got := IST(d, []bitstr.Bits{0b0000}); got != 0 {
+		t.Errorf("IST all-incorrect singleton = %v", got)
+	}
+	// Support-1, correct outcome: no incorrect observation — undefined,
+	// must panic (documented contract).
+	defer func() {
+		if recover() == nil {
+			t.Error("IST with no incorrect outcomes did not panic")
+		}
+	}()
+	IST(d, []bitstr.Bits{0b1111})
+}
+
+func TestISTExactTie(t *testing.T) {
+	// Correct and top incorrect tied: IST is exactly 1 — the boundary the
+	// paper reads as "not inferable" (the criterion is IST > 1).
+	d := dist.New(3)
+	d.Set(0b111, 0.35)
+	d.Set(0b000, 0.35)
+	d.Set(0b001, 0.30)
+	if got := IST(d, []bitstr.Bits{0b111}); got != 1 {
+		t.Errorf("tied IST = %v, want exactly 1", got)
+	}
+	// A tie within the correct set takes the shared best value.
+	if got := IST(d, []bitstr.Bits{0b111, 0b000}); !almostEq(got, 0.35/0.30, 1e-12) {
+		t.Errorf("correct-set tie IST = %v", got)
+	}
+}
+
+func TestPSTTiesAndZeroMassOutcomes(t *testing.T) {
+	// Zero-mass outcomes stay in the support (observed with vanishing
+	// likelihood); PST over them is well-defined 0, and ties among correct
+	// outcomes sum, not max.
+	d := dist.New(2)
+	d.Set(0b00, 0.5)
+	d.Set(0b01, 0.5)
+	d.Set(0b10, 0)
+	if got := PST(d, []bitstr.Bits{0b10}); got != 0 {
+		t.Errorf("PST zero-mass correct = %v", got)
+	}
+	if got := PST(d, []bitstr.Bits{0b00, 0b01}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("PST tied pair = %v", got)
+	}
+}
+
+func TestImprovementEdgeValues(t *testing.T) {
+	// Zero treated over positive base is a legal 0x ratio (a metric
+	// collapsing to zero), and the aggregators propagate it.
+	if got := (Improvement{Base: 0.5, Treated: 0}).Ratio(); got != 0 {
+		t.Errorf("zero treated ratio = %v", got)
+	}
+	if got := MaxRatio([]Improvement{{Base: 1, Treated: 0}, {Base: 1, Treated: 0.25}}); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("MaxRatio with zero member = %v", got)
+	}
+}
+
 func TestPanics(t *testing.T) {
 	d := sample()
 	noErrors := dist.New(2)

@@ -92,6 +92,67 @@ func TestCalibrationValidate(t *testing.T) {
 	}
 }
 
+func TestMitigateSingleOutcomeConsistent(t *testing.T) {
+	// A support-1 histogram consistent with a zero-error calibration is a
+	// fixed point; with per-qubit asymmetric rates it spreads into the
+	// simplex but stays normalized with no negative mass.
+	d := dist.New(3)
+	d.Set(0b110, 1)
+	if out := Mitigate(d, Uniform(3, 0, 0)); out.Len() != 1 || !almostEq(out.Prob(0b110), 1, 1e-12) {
+		t.Errorf("zero-error singleton changed: %v", out)
+	}
+	cal := &Calibration{P01: []float64{0.01, 0.0, 0.3}, P10: []float64{0.05, 0.0, 0.2}}
+	out := Mitigate(d, cal)
+	if !almostEq(out.Total(), 1, 1e-9) {
+		t.Errorf("asymmetric singleton mass = %v", out.Total())
+	}
+	out.Range(func(_ bitstr.Bits, p float64) {
+		if p < 0 {
+			t.Errorf("negative probability %v", p)
+		}
+	})
+}
+
+func TestMitigateAsymmetricRoundTrip(t *testing.T) {
+	// Per-qubit heterogeneous rates (including error-free qubits) must
+	// invert exactly in the infinite-shot limit, like the uniform case.
+	n := 4
+	rng := rand.New(rand.NewSource(11))
+	orig := dist.New(n)
+	for i := 0; i < 7; i++ {
+		orig.Add(bitstr.Bits(rng.Intn(1<<n)), rng.Float64())
+	}
+	orig.Normalize()
+	cal := &Calibration{
+		P01: []float64{0.01, 0.0, 0.08, 0.03},
+		P10: []float64{0.04, 0.0, 0.02, 0.10},
+	}
+	v := orig.Dense()
+	(&noise.Readout{P01: cal.P01, P10: cal.P10}).Apply(v)
+	recovered := Mitigate(v.Sparse(0), cal)
+	if d := dist.TVD(orig, recovered); d > 1e-9 {
+		t.Errorf("asymmetric mitigation did not invert: TVD = %v", d)
+	}
+}
+
+func TestCalibrationValidateBoundaries(t *testing.T) {
+	// Exactly singular (p01+p10 = 1) and out-of-range rates are rejected;
+	// an empty calibration never validates against real qubits.
+	if err := Uniform(2, 0.5, 0.5).Validate(2); err == nil {
+		t.Error("exactly singular matrix accepted")
+	}
+	if err := Uniform(2, 1.1, 0).Validate(2); err == nil {
+		t.Error("rate above 1 accepted")
+	}
+	if err := (&Calibration{}).Validate(1); err == nil {
+		t.Error("empty calibration accepted")
+	}
+	// Mismatched P01/P10 lengths are a length error, not a panic.
+	if err := (&Calibration{P01: []float64{0.1}, P10: nil}).Validate(1); err == nil {
+		t.Error("ragged calibration accepted")
+	}
+}
+
 func TestMitigatePanicsOnBadCalibration(t *testing.T) {
 	defer func() {
 		if recover() == nil {

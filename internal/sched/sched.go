@@ -1,0 +1,221 @@
+// Package sched schedules many independent HAMMER reconstructions against one
+// bounded worker budget. HAMMER's cost is quadratic in unique outcomes and
+// independent of qubit count, which makes reconstruction a natural
+// high-throughput classical service — but a service schedules requests, not
+// goroutines: unbounded per-request fan-out oversubscribes the host the
+// moment two requests race, and per-request state (index, accumulator matrix,
+// output distribution) is far too expensive to rebuild from scratch per call.
+//
+// The Scheduler bounds in-flight reconstructions with one shared semaphore —
+// single requests and batch members draw from the same budget — and serves
+// each request through a core.Session drawn from a sync.Pool, so steady-state
+// traffic reconstructs allocation-free. Batches preserve input order
+// regardless of completion order and fail fast: the first error cancels the
+// context threaded through every in-flight scoring scan.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Workers bounds the number of concurrently executing reconstructions
+	// (0 = GOMAXPROCS). It is the scheduler's one shared budget: concurrent
+	// Reconstruct calls and Batch members all draw from it.
+	Workers int
+
+	// Opts are the per-request reconstruction options. Opts.Workers is the
+	// intra-request parallelism and defaults to 1 here (not GOMAXPROCS):
+	// the scheduler's throughput comes from running requests concurrently,
+	// and oversubscribing cores with per-request fan-out on top of
+	// request-level concurrency slows both down. Set it explicitly to trade
+	// request latency for throughput.
+	Opts core.Options
+}
+
+// Scheduler runs reconstructions against one bounded worker budget with
+// pooled per-request sessions. It is safe for concurrent use.
+type Scheduler struct {
+	opts core.Options
+	sem  chan struct{}
+	pool sync.Pool
+}
+
+// New validates the configuration and returns a ready scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	opts := cfg.Opts
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+	// Validate once, up front: pool refills construct sessions from the
+	// same options and cannot fail afterwards.
+	if _, err := core.NewSession(opts); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{opts: opts, sem: make(chan struct{}, workers)}
+	s.pool.New = func() any {
+		sess, err := core.NewSession(opts)
+		if err != nil {
+			// Unreachable: opts were validated above and are immutable.
+			panic(err)
+		}
+		return sess
+	}
+	return s, nil
+}
+
+// Workers returns the size of the shared worker budget.
+func (s *Scheduler) Workers() int { return cap(s.sem) }
+
+// Options returns the per-request reconstruction options.
+func (s *Scheduler) Options() core.Options { return s.opts }
+
+func (s *Scheduler) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) release() { <-s.sem }
+
+// Reconstruct serves one request: it waits for a worker slot, draws a session
+// from the pool, reconstructs, and hands the result to consume before the
+// session returns to the pool. The result is session-owned — consume must
+// copy anything it keeps (formatting into a response inside consume is the
+// intended shape).
+func (s *Scheduler) Reconstruct(ctx context.Context, in *dist.Dist, consume func(*core.Result) error) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	sess := s.pool.Get().(*core.Session)
+	defer s.pool.Put(sess)
+	res, err := sess.Reconstruct(ctx, in)
+	if err != nil {
+		return err
+	}
+	return consume(res)
+}
+
+// BatchError is the failure of one request in a Batch: the request's index
+// and the underlying cause. It unwraps to the cause, so errors.Is/As see
+// through it (and through any facade wrapping on top).
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("request %d: %v", e.Index, e.Err) }
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Batch reconstructs n requests with bounded concurrency and deterministic
+// result placement. source(i) materializes request i (conversion from wire
+// form runs inside the worker, in parallel); consume(i, res) receives request
+// i's session-owned result and must copy what it keeps. Distinct indices are
+// consumed concurrently — writing to distinct slots of a preallocated slice
+// needs no locking.
+//
+// Errors fail fast: the first failure cancels the shared context, aborting
+// in-flight scoring scans and skipping unstarted requests. The returned error
+// is a *BatchError carrying the lowest-indexed genuine failure observed;
+// pure cancellation fallout from sibling requests is not reported over it.
+// If the parent context itself is canceled, that error is returned.
+func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (*dist.Dist, error), consume func(i int, r *core.Result) error) error {
+	if n <= 0 {
+		return nil
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next      atomic.Int64
+		completed atomic.Int64
+		mu        sync.Mutex
+		firstErr  *BatchError
+	)
+	fail := func(i int, err error) {
+		// Cancellation fallout — a sibling's failure (or the parent) tore
+		// the batch context down under this request — must never mask the
+		// root cause. But a context error from a live batch context is a
+		// genuine failure (e.g. a source callback's own I/O deadline) and
+		// is recorded like any other, or the request would go silently
+		// unserved.
+		if bctx.Err() != nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil || i < firstErr.Index {
+			firstErr = &BatchError{Index: i, Err: err}
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	spawn := cap(s.sem)
+	if spawn > n {
+		spawn = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < spawn; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sess *core.Session
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || bctx.Err() != nil {
+					break
+				}
+				if err := s.acquire(bctx); err != nil {
+					break
+				}
+				if sess == nil {
+					sess = s.pool.Get().(*core.Session)
+				}
+				in, err := source(i)
+				if err == nil {
+					var res *core.Result
+					if res, err = sess.Reconstruct(bctx, in); err == nil {
+						err = consume(i, res)
+					}
+				}
+				s.release()
+				if err != nil {
+					fail(i, err)
+					break
+				}
+				completed.Add(1)
+			}
+			if sess != nil {
+				s.pool.Put(sess)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if completed.Load() == int64(n) {
+		return nil
+	}
+	// No genuine failure but requests went unserved: the parent context was
+	// canceled out from under the batch.
+	return ctx.Err()
+}

@@ -1,0 +1,264 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// testDist builds a deterministic clustered histogram over n bits.
+func testDist(n int, seed int64) *dist.Dist {
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.New(n)
+	key := bitstr.Bits(rng.Intn(1 << uint(n)))
+	d.Add(key, 0.1+0.1*rng.Float64())
+	for i := 0; i < n; i++ {
+		d.Add(bitstr.Flip(key, i), 0.01+0.03*rng.Float64())
+	}
+	for i := 0; i < 60; i++ {
+		d.Add(bitstr.Bits(rng.Intn(1<<uint(n))), 0.002*rng.Float64())
+	}
+	return d.Normalize()
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	if _, err := New(Config{Opts: core.Options{Engine: "fpga"}}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	if _, err := New(Config{Opts: core.Options{Radius: -1}}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	s, err := New(Config{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 3 {
+		t.Errorf("Workers() = %d", s.Workers())
+	}
+	if s.Options().Workers != 1 {
+		t.Errorf("per-request workers default = %d, want 1", s.Options().Workers)
+	}
+	if auto, err := New(Config{}); err != nil || auto.Workers() < 1 {
+		t.Errorf("default workers = %v, %v", auto, err)
+	}
+}
+
+// TestBatchMatchesSerial pins the scheduler's core contract: results land at
+// their request's index and are bit-identical to serial one-shot
+// reconstructions of the same inputs.
+func TestBatchMatchesSerial(t *testing.T) {
+	const n = 24
+	ins := make([]*dist.Dist, n)
+	for i := range ins {
+		ins[i] = testDist(10+i%4, int64(i))
+	}
+	for _, workers := range []int{1, 2, 8} {
+		s, err := New(Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]*dist.Dist, n)
+		err = s.Batch(context.Background(), n,
+			func(i int) (*dist.Dist, error) { return ins[i], nil },
+			func(i int, r *core.Result) error {
+				got[i] = r.Out.Clone() // session-owned: copy before release
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ins {
+			want := core.Reconstruct(ins[i], core.Options{Workers: 1})
+			if got[i] == nil {
+				t.Fatalf("workers=%d: request %d unserved", workers, i)
+			}
+			if d := dist.TVD(got[i], want.Out); d != 0 {
+				t.Fatalf("workers=%d: request %d diverges from serial, TVD %v", workers, i, d)
+			}
+		}
+	}
+}
+
+func TestBatchFailFast(t *testing.T) {
+	const n = 50
+	const bad = 7
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served atomic.Int64
+	err = s.Batch(context.Background(), n,
+		func(i int) (*dist.Dist, error) {
+			if i == bad {
+				return nil, fmt.Errorf("synthetic conversion failure")
+			}
+			return testDist(10, int64(i)), nil
+		},
+		func(i int, r *core.Result) error {
+			served.Add(1)
+			return nil
+		})
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("request %d", bad)) {
+		t.Fatalf("err = %v, want request %d failure", err, bad)
+	}
+	if got := served.Load(); got == n-1 {
+		t.Errorf("fail-fast did not stop the batch: %d/%d served", got, n-1)
+	}
+}
+
+func TestBatchConsumeErrorFailsFast(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("consumer rejected")
+	err = s.Batch(context.Background(), 10,
+		func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+		func(i int, r *core.Result) error {
+			if i == 3 {
+				return sentinel
+			}
+			return nil
+		})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestBatchEmptyInputError(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Batch(context.Background(), 3,
+		func(i int) (*dist.Dist, error) {
+			if i == 1 {
+				return dist.New(4), nil // empty support: session rejects
+			}
+			return testDist(8, int64(i)), nil
+		},
+		func(int, *core.Result) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "request 1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestBatchOwnDeadlineErrorIsGenuine: a context error returned by a callback
+// while the batch context is still live (e.g. a source's own I/O deadline) is
+// a real failure and must be reported, never classed as cancellation fallout
+// — otherwise the request goes silently unserved under a nil batch error.
+func TestBatchOwnDeadlineErrorIsGenuine(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Batch(context.Background(), 4,
+		func(i int) (*dist.Dist, error) {
+			if i == 2 {
+				return nil, fmt.Errorf("fetching histogram: %w", context.DeadlineExceeded)
+			}
+			return testDist(10, int64(i)), nil
+		},
+		func(int, *core.Result) error { return nil })
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 2 {
+		t.Fatalf("err = %v, want BatchError for request 2", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cause lost: %v", err)
+	}
+}
+
+func TestBatchParentCancellation(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = s.Batch(ctx, 5,
+		func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+		func(int, *core.Result) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatchZeroRequests(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Batch(context.Background(), 0, nil, nil); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+}
+
+func TestReconstructSingle(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testDist(12, 9)
+	want := core.Reconstruct(in, core.Options{Workers: 1})
+	var got *dist.Dist
+	if err := s.Reconstruct(context.Background(), in, func(r *core.Result) error {
+		got = r.Out.Clone()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d := dist.TVD(got, want.Out); d != 0 {
+		t.Errorf("pooled single request diverges, TVD %v", d)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Reconstruct(ctx, in, func(*core.Result) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled single request: %v", err)
+	}
+}
+
+// TestSharedBudget exercises concurrent single requests and batches against
+// one scheduler — the serve workload — under the race detector.
+func TestSharedBudget(t *testing.T) {
+	s, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 3; k++ {
+				if g%2 == 0 {
+					if err := s.Reconstruct(context.Background(), testDist(10, int64(g*10+k)),
+						func(r *core.Result) error { return nil }); err != nil {
+						errs <- err
+					}
+				} else {
+					if err := s.Batch(context.Background(), 6,
+						func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+						func(i int, r *core.Result) error { return nil }); err != nil {
+						errs <- err
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
