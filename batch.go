@@ -60,19 +60,37 @@ func (r *Reconstructor) Reconstruct(ctx context.Context, histogram map[string]fl
 	return dist.ToHistogram(res.Out), nil
 }
 
+// SessionOptions maps a Config onto the single-threaded per-request core
+// options the serving layers share: the same facade mapping every other path
+// uses (weight-scheme names resolved here, everything else validated by
+// core), with Workers pinned to 1 — request-level concurrency is the serving
+// layers' throughput lever, and per-request fan-out on top of it would
+// oversubscribe the host. In-module servers use it to turn per-request
+// Config overrides from wire bodies into scheduler/stream options; external
+// users work with RunBatch, Reconstructor, and Stream instead (core's types
+// live under internal/).
+func SessionOptions(cfg Config) (core.Options, error) {
+	opts, err := cfg.options()
+	if err != nil {
+		return core.Options{}, err
+	}
+	if err := core.ValidateOptions(opts); err != nil {
+		return core.Options{}, fmt.Errorf("hammer: %w", err)
+	}
+	opts.Workers = 1
+	return opts, nil
+}
+
 // NewScheduler builds the bounded-concurrency scheduler the serving layers
 // share (hammer.RunBatch, hammerctl serve): cfg maps onto per-request options
-// exactly as every other facade path maps it, each request pinned
-// single-threaded, and workers is the shared request-level budget (0 = all
-// CPUs). It exists so in-module servers embed the scheduler without
-// re-deriving the option mapping; external users work with RunBatch and
-// Reconstructor instead (the scheduler's types live under internal/).
+// through SessionOptions (each request pinned single-threaded), and workers
+// is the shared request-level budget (0 = all CPUs). It exists so in-module
+// servers embed the scheduler without re-deriving the option mapping.
 func NewScheduler(cfg Config, workers int) (*sched.Scheduler, error) {
-	opts, err := cfg.options()
+	opts, err := SessionOptions(cfg)
 	if err != nil {
 		return nil, err
 	}
-	opts.Workers = 1
 	s, err := sched.New(sched.Config{Workers: workers, Opts: opts})
 	if err != nil {
 		return nil, fmt.Errorf("hammer: %w", err)
@@ -100,9 +118,9 @@ func RunBatch(ctx context.Context, histograms []map[string]float64, cfg Config) 
 	}
 	out := make([]map[string]float64, len(histograms))
 	err = s.Batch(ctx, len(histograms),
-		func(i int) (*dist.Dist, error) {
+		func(i int) (sched.Request, error) {
 			d, _, err := dist.FromHistogram(histograms[i])
-			return d, err
+			return sched.Request{In: d}, err
 		},
 		func(i int, r *core.Result) error {
 			// Formatting copies the session-owned result, in parallel on

@@ -23,10 +23,14 @@
 //
 //	hammerctl batch -in histograms.jsonl -workers 8
 //
-// The serve subcommand exposes the same batch machinery as a long-running
-// HTTP JSON service (POST /v1/reconstruct, POST /v1/batch, GET /healthz):
+// The serve subcommand exposes the same machinery as a long-running HTTP
+// JSON service: stateless reconstruction (POST /v1/reconstruct, POST
+// /v1/batch — both accepting per-request "config" overrides), live streaming
+// sessions (POST /v1/stream, POST /v1/stream/{id}/shots, GET/DELETE
+// /v1/stream/{id}), and GET /healthz. The wire format is documented in
+// docs/api.md.
 //
-//	hammerctl serve -addr :8787 -workers 8
+//	hammerctl serve -addr :8787 -workers 8 -max-sessions 64 -session-ttl 15m
 package main
 
 import (

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"mime"
 	"net"
 	"net/http"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/sched"
+	"repro/internal/serve"
 )
 
 // maxRequestBytes bounds one HTTP request body. A histogram entry is ~30
@@ -23,23 +25,40 @@ import (
 const maxRequestBytes = 32 << 20
 
 // runServe starts the HTTP reconstruction service: a shared bounded-worker
-// scheduler with pooled per-request sessions behind a small JSON API.
+// scheduler with pooled per-request sessions, plus a manager of live
+// streaming sessions, behind a small JSON API (documented in docs/api.md):
 //
-//	POST /v1/reconstruct  {"counts": {...}} or bare histogram -> {"dist": ...}
-//	POST /v1/batch        {"requests": [{...}, ...]}          -> {"results": [...]}
-//	GET  /healthz                                             -> {"ok": true, ...}
+//	POST   /v1/reconstruct        one histogram -> {"dist": ...}
+//	POST   /v1/batch              {"requests": [...]} -> {"results": [...]}
+//	POST   /v1/stream             create a streaming session
+//	POST   /v1/stream/{id}/shots  ingest shots (optional ?snapshot=1)
+//	GET    /v1/stream/{id}        snapshot of everything ingested so far
+//	DELETE /v1/stream/{id}        delete the session
+//	GET    /healthz               {"ok": true, ...}
 func runServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hammerctl serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8787", "listen address")
+	maxSessions := fs.Int("max-sessions", serve.DefaultMaxSessions, "cap on live streaming sessions")
+	sessionTTL := fs.Duration("session-ttl", serve.DefaultTTL, "idle streaming sessions are evicted after this long (0 = never evict)")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
 	}
 
+	// The flag's 0 means "never evict" (matching the wire docs' reading of
+	// a non-positive TTL); the manager's internal encoding for that is a
+	// negative TTL, its own zero value selecting the default.
+	ttl := *sessionTTL
+	if ttl == 0 {
+		ttl = -1
+	}
 	// In serve mode -workers is the request-level concurrency of the shared
 	// scheduler, exactly RunBatch's reading of Config.Workers.
-	srv, err := newServer(*cfg, cfg.Workers)
+	srv, err := newServerWith(*cfg, cfg.Workers, serve.Config{
+		MaxSessions: *maxSessions,
+		TTL:         ttl,
+	})
 	if err != nil {
 		return err
 	}
@@ -47,8 +66,33 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s)\n",
-		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine))
+	// Janitor: the manager sweeps lazily on access, but an idle server must
+	// still release evicted sessions' memory. The done channel ends the
+	// goroutine when Serve returns (Ticker.Stop alone does not close C).
+	if ttl := srv.mgr.TTL(); ttl > 0 {
+		// Clamp the sweep interval: a sub-second TTL must not hand
+		// NewTicker a zero (panic) or hot-spinning interval.
+		interval := ttl / 2
+		if interval < time.Second {
+			interval = time.Second
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					srv.mgr.Sweep()
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %d session slots)\n",
+		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.mgr.MaxSessions())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
 }
@@ -60,22 +104,33 @@ func engineLabel(name string) string {
 	return name
 }
 
-// server is the HTTP facade over one shared scheduler.
+// server is the HTTP facade over one shared scheduler and the streaming
+// session manager. base is the server-level Config the CLI flags set; wire
+// bodies may override it per request ("config") or per session.
 type server struct {
-	sch *sched.Scheduler
+	sch  *sched.Scheduler
+	mgr  *serve.Manager
+	base hammer.Config
 }
 
-// newServer builds the scheduler the handlers share. The -workers flag is
-// the request-level concurrency (the shared budget single requests and batch
-// members draw from), exactly as in hammer.RunBatch; each request runs
-// single-threaded inside its slot. The option mapping is the facade's own
-// (hammer.NewScheduler), so serve honors every Config knob the library does.
+// newServer builds a server with default session-manager limits (tests and
+// embedders); runServe passes the flag-configured limits via newServerWith.
 func newServer(cfg hammer.Config, workers int) (*server, error) {
+	return newServerWith(cfg, workers, serve.Config{})
+}
+
+// newServerWith builds the scheduler and session manager the handlers share.
+// The -workers flag is the request-level concurrency (the shared budget
+// single requests, batch members, and streaming snapshots draw from), exactly
+// as in hammer.RunBatch; each request runs single-threaded inside its slot.
+// The option mapping is the facade's own (hammer.NewScheduler /
+// hammer.SessionOptions), so serve honors every Config knob the library does.
+func newServerWith(cfg hammer.Config, workers int, sc serve.Config) (*server, error) {
 	sch, err := hammer.NewScheduler(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &server{sch: sch}, nil
+	return &server{sch: sch, mgr: serve.NewManager(sc), base: cfg}, nil
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -83,7 +138,58 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/reconstruct", s.handleReconstruct)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stream", s.handleStreamCreate)
+	mux.HandleFunc("/v1/stream/", s.handleStreamSession)
 	return mux
+}
+
+// wireConfig is the per-request/per-session "config" override object:
+// pointer fields distinguish "absent — inherit the server default" from an
+// explicit zero. Workers is deliberately missing — parallelism is the
+// server's budget, not a client knob.
+type wireConfig struct {
+	Radius        *int    `json:"radius"`
+	Weights       *string `json:"weights"`
+	DisableFilter *bool   `json:"disable_filter"`
+	TopM          *int    `json:"topm"`
+	Engine        *string `json:"engine"`
+}
+
+// apply overlays the override onto the server's base configuration.
+func (wc *wireConfig) apply(base hammer.Config) hammer.Config {
+	if wc == nil {
+		return base
+	}
+	if wc.Radius != nil {
+		base.Radius = *wc.Radius
+	}
+	if wc.Weights != nil {
+		base.Weights = *wc.Weights
+	}
+	if wc.DisableFilter != nil {
+		base.DisableFilter = *wc.DisableFilter
+	}
+	if wc.TopM != nil {
+		base.TopM = *wc.TopM
+	}
+	if wc.Engine != nil {
+		base.Engine = *wc.Engine
+	}
+	return base
+}
+
+// requestOptions maps an optional wire override onto scheduler request
+// options: nil stays nil (scheduler defaults, no reconfiguration), an
+// override becomes the full facade mapping of base-with-override.
+func (s *server) requestOptions(wc *wireConfig) (*core.Options, error) {
+	if wc == nil {
+		return nil, nil
+	}
+	opts, err := hammer.SessionOptions(wc.apply(s.base))
+	if err != nil {
+		return nil, err
+	}
+	return &opts, nil
 }
 
 // reconstructResponse is one reconstruction on the wire, with the metadata a
@@ -116,9 +222,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":      true,
-		"workers": s.sch.Workers(),
-		"engine":  engineLabel(s.sch.Options().Engine),
+		"ok":           true,
+		"workers":      s.sch.Workers(),
+		"engine":       engineLabel(s.sch.Options().Engine),
+		"sessions":     s.mgr.Len(),
+		"max_sessions": s.mgr.MaxSessions(),
 	})
 }
 
@@ -127,12 +235,16 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	body, err := readBody(w, r)
-	if err != nil {
-		writeError(w, bodyStatus(err), -1, err)
+	body, ok := readJSONBody(w, r)
+	if !ok {
 		return
 	}
-	histogram, err := decodeHistogram(body)
+	histogram, override, err := decodeReconstruct(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, -1, err)
+		return
+	}
+	opts, err := s.requestOptions(override)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
@@ -143,7 +255,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp reconstructResponse
-	err = s.sch.Reconstruct(r.Context(), in, func(res *core.Result) error {
+	err = s.sch.Reconstruct(r.Context(), sched.Request{In: in, Opts: opts}, func(res *core.Result) error {
 		resp = toResponse(res)
 		return nil
 	})
@@ -159,9 +271,8 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
-	body, err := readBody(w, r)
-	if err != nil {
-		writeError(w, bodyStatus(err), -1, err)
+	body, ok := readJSONBody(w, r)
+	if !ok {
 		return
 	}
 	var req batchRequest
@@ -174,14 +285,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	results := make([]reconstructResponse, len(req.Requests))
-	err = s.sch.Batch(r.Context(), len(req.Requests),
-		func(i int) (*dist.Dist, error) {
-			histogram, err := decodeHistogram(req.Requests[i])
+	err := s.sch.Batch(r.Context(), len(req.Requests),
+		func(i int) (sched.Request, error) {
+			histogram, override, err := decodeReconstruct(req.Requests[i])
 			if err != nil {
-				return nil, err
+				return sched.Request{}, err
+			}
+			opts, err := s.requestOptions(override)
+			if err != nil {
+				return sched.Request{}, err
 			}
 			d, _, err := dist.FromHistogram(histogram)
-			return d, err
+			return sched.Request{In: d, Opts: opts}, err
 		},
 		func(i int, res *core.Result) error {
 			results[i] = toResponse(res)
@@ -206,9 +321,62 @@ func toResponse(res *core.Result) reconstructResponse {
 	}
 }
 
-// readBody drains a size-capped request body.
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
-	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+// mediaType returns the request's canonical media type — lowercased, with
+// parameters like charset stripped — or "" when the header is absent or
+// unparseable. Handlers that branch on the content type use this one parsed
+// value, never the raw header.
+func mediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return ""
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ""
+	}
+	return mt
+}
+
+// checkContentType enforces the declared request media type: an empty
+// Content-Type is accepted (curl's default -d type is not: clients must send
+// JSON as JSON), "application/json" always is, and anything else — including
+// curl's application/x-www-form-urlencoded — is rejected up front with 415
+// so a misdeclared body never reaches a JSON parser. extra lists additional
+// acceptable media types (the shots endpoint's "text/plain").
+func checkContentType(r *http.Request, extra ...string) error {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return nil
+	}
+	mt := mediaType(r)
+	if mt == "" {
+		return fmt.Errorf("unparseable Content-Type %q", ct)
+	}
+	if mt == "application/json" {
+		return nil
+	}
+	for _, ok := range extra {
+		if mt == ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("unsupported Content-Type %q (want application/json)", ct)
+}
+
+// readJSONBody enforces the content type and drains a size-capped request
+// body, writing the error response itself when the request is unacceptable
+// (the ok=false path).
+func readJSONBody(w http.ResponseWriter, r *http.Request, extraTypes ...string) ([]byte, bool) {
+	if err := checkContentType(r, extraTypes...); err != nil {
+		writeError(w, http.StatusUnsupportedMediaType, -1, err)
+		return nil, false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, bodyStatus(err), -1, err)
+		return nil, false
+	}
+	return body, true
 }
 
 // bodyStatus distinguishes an oversized body (413) from a body that simply
@@ -221,20 +389,29 @@ func bodyStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// decodeHistogram accepts the same shapes as the batch CLI: a bare
-// {"0101": mass} object or a {"counts": {...}} wrapper.
-func decodeHistogram(body []byte) (map[string]float64, error) {
+// decodeReconstruct decodes one reconstruction request: a bare {"0101": mass}
+// histogram object, or a {"counts": {...}} wrapper optionally carrying a
+// per-request {"config": {...}} override.
+func decodeReconstruct(body []byte) (map[string]float64, *wireConfig, error) {
 	var wrapped struct {
 		Counts map[string]float64 `json:"counts"`
+		Config *wireConfig        `json:"config"`
 	}
 	if err := json.Unmarshal(body, &wrapped); err == nil && len(wrapped.Counts) > 0 {
-		return wrapped.Counts, nil
+		return wrapped.Counts, wrapped.Config, nil
 	}
 	var bare map[string]float64
 	if err := json.Unmarshal(body, &bare); err != nil {
-		return nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", err)
+		return nil, nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", err)
 	}
-	return bare, nil
+	return bare, nil, nil
+}
+
+// decodeHistogram is the CLI's reading of the same shapes (per-request config
+// overrides are an HTTP concern; the CLI's configuration comes from flags).
+func decodeHistogram(body []byte) (map[string]float64, error) {
+	h, _, err := decodeReconstruct(body)
+	return h, err
 }
 
 // statusFor maps a reconstruction error to an HTTP status: client

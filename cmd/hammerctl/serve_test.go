@@ -244,3 +244,113 @@ func TestFailedIndex(t *testing.T) {
 		t.Errorf("unannotated failedIndex = %d", i)
 	}
 }
+
+// TestServeReconstructConfigOverride is the per-request override acceptance
+// test: one pooled scheduler serves alternating engine/radius/TopM overrides
+// and base-config requests without errors, each response matching the library
+// under the same effective configuration (sessions are reconfigured in place,
+// never errored).
+func TestServeReconstructConfigOverride(t *testing.T) {
+	ts := newTestServer(t, hammer.Config{}, 1) // one pooled session serves every config
+	hist := `{"11110": 25, "11111": 9, "01110": 6, "00000": 3, "10110": 4}`
+	histMap := map[string]float64{"11110": 25, "11111": 9, "01110": 6, "00000": 3, "10110": 4}
+	cases := []struct {
+		name   string
+		config string // JSON override, "" = none
+		want   hammer.Config
+		engine string
+		radius int
+	}{
+		{"base", ``, hammer.Config{Workers: 1}, "exact", 2},
+		{"engine+radius", `{"engine": "bucketed", "radius": 3}`, hammer.Config{Engine: "bucketed", Radius: 3, Workers: 1}, "bucketed", 3},
+		{"radius only", `{"radius": 1}`, hammer.Config{Radius: 1, Workers: 1}, "exact", 1},
+		{"base again", ``, hammer.Config{Workers: 1}, "exact", 2},
+		{"topm+weights", `{"topm": 3, "weights": "exp-decay"}`, hammer.Config{TopM: 3, Weights: "exp-decay", Workers: 1}, "exact", 2},
+	}
+	for _, tc := range cases {
+		body := `{"counts": ` + hist + `}`
+		if tc.config != "" {
+			body = `{"counts": ` + hist + `, "config": ` + tc.config + `}`
+		}
+		code, resp := postJSON(t, ts.URL+"/v1/reconstruct", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.name, code, resp)
+		}
+		var rr reconstructResponse
+		if err := json.Unmarshal(resp, &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Engine != tc.engine || rr.Radius != tc.radius {
+			t.Errorf("%s: metadata (%s, %d), want (%s, %d)", tc.name, rr.Engine, rr.Radius, tc.engine, tc.radius)
+		}
+		want, err := hammer.RunWithConfig(histMap, tc.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range want {
+			if rr.Dist[k] != p {
+				t.Errorf("%s: %s: served %v, library %v", tc.name, k, rr.Dist[k], p)
+			}
+		}
+	}
+	// Invalid overrides are a 400, and the pooled session stays healthy.
+	for name, config := range map[string]string{
+		"unknown engine":  `{"engine": "fpga"}`,
+		"streaming-only":  `{"engine": "incremental"}`,
+		"bad weights":     `{"weights": "quadratic"}`,
+		"negative radius": `{"radius": -2}`,
+	} {
+		code, resp := postJSON(t, ts.URL+"/v1/reconstruct", `{"counts": `+hist+`, "config": `+config+`}`)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", name, code, resp)
+		}
+	}
+	if code, _ := postJSON(t, ts.URL+"/v1/reconstruct", hist); code != http.StatusOK {
+		t.Error("base request after rejected overrides failed")
+	}
+}
+
+// TestServeBatchPerRequestConfig: batch members carry their own configs
+// through the shared session pool, and a bad member config fails fast with
+// its index.
+func TestServeBatchPerRequestConfig(t *testing.T) {
+	ts := newTestServer(t, hammer.Config{}, 2)
+	hist := map[string]float64{"1111": 20, "1110": 7, "0011": 2}
+	code, body := postJSON(t, ts.URL+"/v1/batch", `{"requests": [
+		{"1111": 20, "1110": 7, "0011": 2},
+		{"counts": {"1111": 20, "1110": 7, "0011": 2}, "config": {"engine": "exact", "radius": 3}},
+		{"counts": {"1111": 20, "1110": 7, "0011": 2}, "config": {"topm": 2}}
+	]}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp batchResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	wants := []hammer.Config{
+		{Workers: 1},
+		{Engine: "exact", Radius: 3, Workers: 1},
+		{TopM: 2, Workers: 1},
+	}
+	for i, cfg := range wants {
+		want, err := hammer.RunWithConfig(hist, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, p := range want {
+			if resp.Results[i].Dist[k] != p {
+				t.Errorf("request %d: %s: served %v, library %v", i, k, resp.Results[i].Dist[k], p)
+			}
+		}
+	}
+	code, body = postJSON(t, ts.URL+"/v1/batch",
+		`{"requests": [{"01": 3}, {"counts": {"01": 3}, "config": {"engine": "fpga"}}]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad member config: status %d (%s)", code, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Index != 1 {
+		t.Errorf("bad member config envelope: %s", body)
+	}
+}

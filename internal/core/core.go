@@ -1,34 +1,3 @@
-// Package core implements Hamming Reconstruction (HAMMER), the paper's
-// primary contribution (§4 and Algorithm 1 in the appendix).
-//
-// HAMMER is a post-processing pass over the noisy output distribution of a
-// NISQ program. For every unique outcome x it computes a likelihood
-//
-//	L(x) = Pr(x) × S(x)
-//
-// where the neighborhood score S(x) is a weighted sum over the Cumulative
-// Hamming Strength (CHS) of x's Hamming neighborhood. Per-distance weights
-// are the inverse of the globally accumulated CHS, neighborhoods are capped
-// at Hamming distance < n/2, and a filter admits only neighbors with lower
-// probability than x so that spurious low-probability outcomes cannot profit
-// from rich neighborhoods. The reconstructed distribution is L normalized.
-//
-// The pairwise scan that dominates the cost is delegated to a pluggable
-// Engine (engine.go), selected by name through a registry the engines
-// self-register into (registry.go): "exact" is the reference O(N²) loop
-// matching Algorithm 1 line by line, "bucketed" computes the same quantities
-// through the popcount-bucketed index of the dist package in a single merged
-// triangular pass, and "incremental" is the streaming-only state of
-// incremental.go. Both batch engines produce identical reconstructions up to
-// float64 rounding; selection is automatic by support size unless
-// Options.Engine pins one.
-//
-// The package is request-oriented: a Session (session.go) holds one
-// validated set of Options plus every scratch buffer a reconstruction needs,
-// so repeated reconstructions are allocation-free after warm-up and a
-// context canceled mid-request aborts the parallel scans. Reconstruct/Run
-// are the one-shot conveniences over a throwaway session; the scheduler
-// (internal/sched) pools sessions to serve concurrent request traffic.
 package core
 
 import (

@@ -1,0 +1,62 @@
+// Package core implements Hamming Reconstruction (HAMMER), the paper's
+// primary contribution (§4 and Algorithm 1 in the appendix).
+//
+// HAMMER is a post-processing pass over the noisy output distribution of a
+// NISQ program. For every unique outcome x it computes a likelihood
+//
+//	L(x) = Pr(x) × S(x)
+//
+// where the neighborhood score S(x) is a weighted sum over the Cumulative
+// Hamming Strength (CHS) of x's Hamming neighborhood. Per-distance weights
+// are the inverse of the globally accumulated CHS, neighborhoods are capped
+// at Hamming distance < n/2, and a filter admits only neighbors with lower
+// probability than x so that spurious low-probability outcomes cannot profit
+// from rich neighborhoods. The reconstructed distribution is L normalized.
+//
+// # Engines
+//
+// The pairwise scan that dominates the cost is delegated to a pluggable
+// Engine (engine.go), selected by name through a registry the engines
+// self-register into (registry.go): "exact" is the reference O(N²) loop
+// matching Algorithm 1 line by line, "bucketed" computes the same quantities
+// through the popcount-bucketed index of the dist package in a single merged
+// triangular pass, and "incremental" is the streaming-only state of
+// incremental.go. Both batch engines produce identical reconstructions up to
+// float64 rounding; selection is automatic by support size unless
+// Options.Engine pins one. Unknown and streaming-only names flow back as
+// errors from one choke point (the registry) on every path.
+//
+// # Contract
+//
+// The package is request-oriented around Session (session.go):
+//
+//   - Reuse: a Session holds one validated set of Options plus every scratch
+//     buffer a reconstruction needs. Buffers grow to the high-water mark of
+//     the problems scored through them and are reused thereafter; after
+//     warm-up, repeated Reconstruct calls on similarly sized problems are
+//     0 allocs/op (pinned by BenchmarkSessionReuse; the TopM truncation path
+//     and the DisableFilter multi-worker ablation still allocate small
+//     sort/slab state).
+//   - Ownership: the Result a Session returns — Out, GlobalCHS, Weights —
+//     is session-owned and overwritten by the next Reconstruct call. Callers
+//     that keep it copy it first.
+//   - Goroutine safety: a Session (and a Scratch, and an Incremental) is NOT
+//     safe for concurrent use; each serves one request at a time. The
+//     registry (Register/Lookup) IS safe for concurrent use. Inside one
+//     reconstruction the engines fan work out across Options.Workers
+//     goroutines with disjoint-write ownership — no locks — and results are
+//     deterministic for a fixed worker count.
+//   - Reconfiguration: CompatibleWith/Reconfigure swap a session's options
+//     in place without touching scratch state (no option-derived buffers
+//     exist), which is how the scheduler serves per-request option
+//     overrides from pooled warm sessions.
+//   - Cancellation: a context canceled mid-request aborts the parallel
+//     scans between rows; the error is ctx.Err() and the session remains
+//     reusable.
+//
+// Reconstruct/Run are the one-shot conveniences over a throwaway session
+// (they panic on invalid options, preserving the historical contract; every
+// other path surfaces errors). The scheduler (internal/sched) pools sessions
+// to serve concurrent request traffic; the stream layer (internal/stream)
+// drives Incremental for shot-at-a-time ingestion.
+package core

@@ -107,25 +107,56 @@ type Session struct {
 // unknown or streaming-only engine — come back as errors; this is the single
 // validation point the facades and the scheduler rely on.
 func NewSession(opts Options) (*Session, error) {
-	if opts.Radius < 0 {
-		return nil, fmt.Errorf("core: negative radius %d", opts.Radius)
-	}
-	if opts.TopM < 0 {
-		return nil, fmt.Errorf("core: negative TopM %d", opts.TopM)
-	}
-	switch opts.Weights {
-	case InverseCHS, UniformWeight, ExpDecay:
-	default:
-		return nil, fmt.Errorf("core: unknown weight scheme %d", opts.Weights)
-	}
-	if err := ValidateEngine(opts.Engine); err != nil {
+	if err := ValidateOptions(opts); err != nil {
 		return nil, err
 	}
 	return &Session{opts: opts}, nil
 }
 
+// ValidateOptions performs the full option validation NewSession (and
+// Session.Reconfigure) apply: radius and TopM signs, the weight scheme, and
+// the engine name against the registry.
+func ValidateOptions(opts Options) error {
+	if opts.Radius < 0 {
+		return fmt.Errorf("core: negative radius %d", opts.Radius)
+	}
+	if opts.TopM < 0 {
+		return fmt.Errorf("core: negative TopM %d", opts.TopM)
+	}
+	switch opts.Weights {
+	case InverseCHS, UniformWeight, ExpDecay:
+	default:
+		return fmt.Errorf("core: unknown weight scheme %d", opts.Weights)
+	}
+	return ValidateEngine(opts.Engine)
+}
+
 // Options returns the session's validated options.
 func (s *Session) Options() Options { return s.opts }
+
+// CompatibleWith reports whether the session, as configured, already serves
+// requests with exactly the given options. A compatible session needs no
+// reconfiguration; an incompatible one is still one Reconfigure call away
+// from serving the request — none of the session's scratch state depends on
+// the options, only on problem size. The scheduler uses this pair to reuse
+// pooled warm sessions across requests with differing per-request options
+// instead of erroring or rebuilding scratch from scratch.
+func (s *Session) CompatibleWith(opts Options) bool { return s.opts == opts }
+
+// Reconfigure revalidates and swaps the session's options in place, keeping
+// every warmed-up scratch buffer. Invalid options are rejected with the same
+// errors as NewSession and leave the session unchanged. The cost is a few
+// registry lookups — far below rebuilding a warm session.
+func (s *Session) Reconfigure(opts Options) error {
+	if s.opts == opts {
+		return nil
+	}
+	if err := ValidateOptions(opts); err != nil {
+		return err
+	}
+	s.opts = opts
+	return nil
+}
 
 // Reconstruct applies HAMMER to the input distribution, reusing the session's
 // buffers. The input is treated as already normalized and is not modified.

@@ -201,3 +201,75 @@ func TestSessionUnknownEngineError(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestSessionCompatibleWith(t *testing.T) {
+	opts := Options{Radius: 3, Workers: 1}
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.CompatibleWith(opts) {
+		t.Error("session incompatible with its own options")
+	}
+	for _, other := range []Options{
+		{Radius: 2, Workers: 1},
+		{Radius: 3, Workers: 1, Engine: EngineExact},
+		{Radius: 3, Workers: 1, TopM: 10},
+		{Radius: 3, Workers: 2},
+	} {
+		if s.CompatibleWith(other) {
+			t.Errorf("session claims compatibility with differing options %+v", other)
+		}
+	}
+}
+
+// TestSessionReconfigure: a reconfigured session serves the new options with
+// results identical to a fresh session, and invalid options leave it
+// untouched.
+func TestSessionReconfigure(t *testing.T) {
+	s, err := NewSession(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := goldenDist(12, 77)
+	if _, err := s.Reconstruct(context.Background(), in); err != nil {
+		t.Fatal(err) // warm the scratch under the original options
+	}
+
+	next := Options{Radius: 2, Workers: 1, Engine: EngineExact}
+	if err := s.Reconfigure(next); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Options(); got != next {
+		t.Fatalf("Options() = %+v after Reconfigure(%+v)", got, next)
+	}
+	res, err := s.Reconstruct(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reconstruct(in, next)
+	if d := dist.TVD(res.Out, want.Out); d != 0 {
+		t.Errorf("reconfigured session diverges from fresh session, TVD %v", d)
+	}
+	if res.Engine != want.Engine || res.Radius != want.Radius {
+		t.Errorf("metadata (%s, %d), want (%s, %d)", res.Engine, res.Radius, want.Engine, want.Radius)
+	}
+
+	// Invalid options are rejected and do not change the session.
+	for _, bad := range []Options{
+		{Radius: -1, Workers: 1},
+		{TopM: -2, Workers: 1},
+		{Engine: "fpga", Workers: 1},
+		{Weights: WeightScheme(99), Workers: 1},
+	} {
+		if err := s.Reconfigure(bad); err == nil {
+			t.Errorf("Reconfigure accepted invalid options %+v", bad)
+		}
+		if got := s.Options(); got != next {
+			t.Fatalf("failed Reconfigure mutated the session: %+v", got)
+		}
+	}
+	if _, err := s.Reconstruct(context.Background(), in); err != nil {
+		t.Errorf("session unusable after rejected Reconfigure: %v", err)
+	}
+}

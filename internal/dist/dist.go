@@ -1,22 +1,3 @@
-// Package dist is the distribution layer of the HAMMER reproduction: the
-// sparse and dense probability-histogram types every other layer builds on,
-// plus the popcount-bucketed index (index.go) that accelerates the
-// Hamming-distance queries of the reconstruction engines.
-//
-// Three representations cover the pipeline end to end:
-//
-//   - Vector — a dense probability array over all 2^n outcomes, the natural
-//     output of the statevector and density-matrix simulators and the form
-//     the distribution-level noise channels operate on.
-//   - Dist — a sparse bitstring→probability store with deterministic
-//     (ascending-outcome) iteration, the form HAMMER and every analysis
-//     package consume. Measured histograms are sparse: even 256K trials on a
-//     20-qubit program touch a vanishing fraction of the 2^20 outcomes.
-//   - Counts — sparse integer shot counts, the raw form finite-shot
-//     sampling produces.
-//
-// All iteration orders are deterministic so that every experiment in the
-// repository is reproducible bit-for-bit from its seed.
 package dist
 
 import (

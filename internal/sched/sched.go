@@ -1,17 +1,3 @@
-// Package sched schedules many independent HAMMER reconstructions against one
-// bounded worker budget. HAMMER's cost is quadratic in unique outcomes and
-// independent of qubit count, which makes reconstruction a natural
-// high-throughput classical service — but a service schedules requests, not
-// goroutines: unbounded per-request fan-out oversubscribes the host the
-// moment two requests race, and per-request state (index, accumulator matrix,
-// output distribution) is far too expensive to rebuild from scratch per call.
-//
-// The Scheduler bounds in-flight reconstructions with one shared semaphore —
-// single requests and batch members draw from the same budget — and serves
-// each request through a core.Session drawn from a sync.Pool, so steady-state
-// traffic reconstructs allocation-free. Batches preserve input order
-// regardless of completion order and fail fast: the first error cancels the
-// context threaded through every in-flight scoring scan.
 package sched
 
 import (
@@ -80,7 +66,7 @@ func New(cfg Config) (*Scheduler, error) {
 // Workers returns the size of the shared worker budget.
 func (s *Scheduler) Workers() int { return cap(s.sem) }
 
-// Options returns the per-request reconstruction options.
+// Options returns the default per-request reconstruction options.
 func (s *Scheduler) Options() core.Options { return s.opts }
 
 func (s *Scheduler) acquire(ctx context.Context) error {
@@ -94,19 +80,70 @@ func (s *Scheduler) acquire(ctx context.Context) error {
 
 func (s *Scheduler) release() { <-s.sem }
 
+// Do runs fn inside one slot of the shared worker budget: it waits for a
+// slot (or ctx), runs fn, and releases the slot. It exists for work that is
+// reconstruction-shaped but not a pooled-session request — a streaming
+// session's snapshot, for instance — so long-lived sessions and one-shot
+// requests cannot together oversubscribe the host: everything CPU-bound the
+// server does drains from cap(sem) slots.
+func (s *Scheduler) Do(ctx context.Context, fn func() error) error {
+	if err := s.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.release()
+	return fn()
+}
+
+// Request is one unit of scheduler work: the input distribution plus optional
+// per-request option overrides. A nil Opts serves the request with the
+// scheduler's default options; a non-nil Opts is served by reconfiguring the
+// pooled session in place when it is not already compatible (warm scratch
+// buffers are kept either way — see core.Session.CompatibleWith). Opts.Workers
+// is ignored: intra-request parallelism stays the scheduler's own setting, or
+// per-request fan-out could multiply against request-level concurrency.
+type Request struct {
+	In   *dist.Dist
+	Opts *core.Options
+}
+
+// effective resolves a request's options against the scheduler defaults.
+func (s *Scheduler) effective(opts *core.Options) core.Options {
+	if opts == nil {
+		return s.opts
+	}
+	eff := *opts
+	eff.Workers = s.opts.Workers
+	return eff
+}
+
+// prepare draws a pooled session reconfigured for the request's effective
+// options. Invalid per-request options surface as the request's error; the
+// session stays poolable either way (Reconfigure leaves it unchanged on
+// error).
+func (s *Scheduler) prepare(sess *core.Session, opts *core.Options) error {
+	if eff := s.effective(opts); !sess.CompatibleWith(eff) {
+		return sess.Reconfigure(eff)
+	}
+	return nil
+}
+
 // Reconstruct serves one request: it waits for a worker slot, draws a session
-// from the pool, reconstructs, and hands the result to consume before the
-// session returns to the pool. The result is session-owned — consume must
-// copy anything it keeps (formatting into a response inside consume is the
+// from the pool (reconfigured in place if the request overrides the default
+// options), reconstructs, and hands the result to consume before the session
+// returns to the pool. The result is session-owned — consume must copy
+// anything it keeps (formatting into a response inside consume is the
 // intended shape).
-func (s *Scheduler) Reconstruct(ctx context.Context, in *dist.Dist, consume func(*core.Result) error) error {
+func (s *Scheduler) Reconstruct(ctx context.Context, req Request, consume func(*core.Result) error) error {
 	if err := s.acquire(ctx); err != nil {
 		return err
 	}
 	defer s.release()
 	sess := s.pool.Get().(*core.Session)
 	defer s.pool.Put(sess)
-	res, err := sess.Reconstruct(ctx, in)
+	if err := s.prepare(sess, req.Opts); err != nil {
+		return err
+	}
+	res, err := sess.Reconstruct(ctx, req.In)
 	if err != nil {
 		return err
 	}
@@ -126,17 +163,17 @@ func (e *BatchError) Unwrap() error { return e.Err }
 
 // Batch reconstructs n requests with bounded concurrency and deterministic
 // result placement. source(i) materializes request i (conversion from wire
-// form runs inside the worker, in parallel); consume(i, res) receives request
-// i's session-owned result and must copy what it keeps. Distinct indices are
-// consumed concurrently — writing to distinct slots of a preallocated slice
-// needs no locking.
+// form runs inside the worker, in parallel), including any per-request option
+// overrides; consume(i, res) receives request i's session-owned result and
+// must copy what it keeps. Distinct indices are consumed concurrently —
+// writing to distinct slots of a preallocated slice needs no locking.
 //
 // Errors fail fast: the first failure cancels the shared context, aborting
 // in-flight scoring scans and skipping unstarted requests. The returned error
 // is a *BatchError carrying the lowest-indexed genuine failure observed;
 // pure cancellation fallout from sibling requests is not reported over it.
 // If the parent context itself is canceled, that error is returned.
-func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (*dist.Dist, error), consume func(i int, r *core.Result) error) error {
+func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (Request, error), consume func(i int, r *core.Result) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -189,10 +226,13 @@ func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (*dist.
 				if sess == nil {
 					sess = s.pool.Get().(*core.Session)
 				}
-				in, err := source(i)
+				req, err := source(i)
+				if err == nil {
+					err = s.prepare(sess, req.Opts)
+				}
 				if err == nil {
 					var res *core.Result
-					if res, err = sess.Reconstruct(bctx, in); err == nil {
+					if res, err = sess.Reconstruct(bctx, req.In); err == nil {
 						err = consume(i, res)
 					}
 				}

@@ -68,7 +68,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 		}
 		got := make([]*dist.Dist, n)
 		err = s.Batch(context.Background(), n,
-			func(i int) (*dist.Dist, error) { return ins[i], nil },
+			func(i int) (Request, error) { return Request{In: ins[i]}, nil },
 			func(i int, r *core.Result) error {
 				got[i] = r.Out.Clone() // session-owned: copy before release
 				return nil
@@ -97,11 +97,11 @@ func TestBatchFailFast(t *testing.T) {
 	}
 	var served atomic.Int64
 	err = s.Batch(context.Background(), n,
-		func(i int) (*dist.Dist, error) {
+		func(i int) (Request, error) {
 			if i == bad {
-				return nil, fmt.Errorf("synthetic conversion failure")
+				return Request{}, fmt.Errorf("synthetic conversion failure")
 			}
-			return testDist(10, int64(i)), nil
+			return Request{In: testDist(10, int64(i))}, nil
 		},
 		func(i int, r *core.Result) error {
 			served.Add(1)
@@ -122,7 +122,7 @@ func TestBatchConsumeErrorFailsFast(t *testing.T) {
 	}
 	sentinel := errors.New("consumer rejected")
 	err = s.Batch(context.Background(), 10,
-		func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+		func(i int) (Request, error) { return Request{In: testDist(10, int64(i))}, nil },
 		func(i int, r *core.Result) error {
 			if i == 3 {
 				return sentinel
@@ -140,11 +140,11 @@ func TestBatchEmptyInputError(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = s.Batch(context.Background(), 3,
-		func(i int) (*dist.Dist, error) {
+		func(i int) (Request, error) {
 			if i == 1 {
-				return dist.New(4), nil // empty support: session rejects
+				return Request{In: dist.New(4)}, nil // empty support: session rejects
 			}
-			return testDist(8, int64(i)), nil
+			return Request{In: testDist(8, int64(i))}, nil
 		},
 		func(int, *core.Result) error { return nil })
 	if err == nil || !strings.Contains(err.Error(), "request 1") {
@@ -162,11 +162,11 @@ func TestBatchOwnDeadlineErrorIsGenuine(t *testing.T) {
 		t.Fatal(err)
 	}
 	err = s.Batch(context.Background(), 4,
-		func(i int) (*dist.Dist, error) {
+		func(i int) (Request, error) {
 			if i == 2 {
-				return nil, fmt.Errorf("fetching histogram: %w", context.DeadlineExceeded)
+				return Request{}, fmt.Errorf("fetching histogram: %w", context.DeadlineExceeded)
 			}
-			return testDist(10, int64(i)), nil
+			return Request{In: testDist(10, int64(i))}, nil
 		},
 		func(int, *core.Result) error { return nil })
 	var be *BatchError
@@ -186,7 +186,7 @@ func TestBatchParentCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	err = s.Batch(ctx, 5,
-		func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+		func(i int) (Request, error) { return Request{In: testDist(10, int64(i))}, nil },
 		func(int, *core.Result) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -211,7 +211,7 @@ func TestReconstructSingle(t *testing.T) {
 	in := testDist(12, 9)
 	want := core.Reconstruct(in, core.Options{Workers: 1})
 	var got *dist.Dist
-	if err := s.Reconstruct(context.Background(), in, func(r *core.Result) error {
+	if err := s.Reconstruct(context.Background(), Request{In: in}, func(r *core.Result) error {
 		got = r.Out.Clone()
 		return nil
 	}); err != nil {
@@ -222,7 +222,7 @@ func TestReconstructSingle(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if err := s.Reconstruct(ctx, in, func(*core.Result) error { return nil }); !errors.Is(err, context.Canceled) {
+	if err := s.Reconstruct(ctx, Request{In: in}, func(*core.Result) error { return nil }); !errors.Is(err, context.Canceled) {
 		t.Errorf("canceled single request: %v", err)
 	}
 }
@@ -242,13 +242,13 @@ func TestSharedBudget(t *testing.T) {
 			defer wg.Done()
 			for k := 0; k < 3; k++ {
 				if g%2 == 0 {
-					if err := s.Reconstruct(context.Background(), testDist(10, int64(g*10+k)),
+					if err := s.Reconstruct(context.Background(), Request{In: testDist(10, int64(g*10+k))},
 						func(r *core.Result) error { return nil }); err != nil {
 						errs <- err
 					}
 				} else {
 					if err := s.Batch(context.Background(), 6,
-						func(i int) (*dist.Dist, error) { return testDist(10, int64(i)), nil },
+						func(i int) (Request, error) { return Request{In: testDist(10, int64(i))}, nil },
 						func(i int, r *core.Result) error { return nil }); err != nil {
 						errs <- err
 					}
@@ -261,4 +261,160 @@ func TestSharedBudget(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
+}
+
+// TestReconstructOverride pins the per-request option path: a pooled session
+// serves alternating configurations (reconfigured in place, never errored),
+// each result matching a serial reconstruction under the same options.
+func TestReconstructOverride(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testDist(12, 3)
+	overrides := []*core.Options{
+		nil, // scheduler default
+		{Radius: 2, Workers: 1},
+		{Engine: core.EngineExact, Workers: 1},
+		nil, // back to default on the same pooled session
+		{Radius: 3, TopM: 20, Workers: 1},
+	}
+	for k, opts := range overrides {
+		wantOpts := core.Options{Workers: 1}
+		if opts != nil {
+			wantOpts = *opts
+		}
+		want := core.Reconstruct(in, wantOpts)
+		var got *dist.Dist
+		var gotEngine string
+		var gotRadius int
+		err := s.Reconstruct(context.Background(), Request{In: in, Opts: opts},
+			func(r *core.Result) error {
+				got = r.Out.Clone()
+				gotEngine, gotRadius = r.Engine, r.Radius
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("request %d (opts %+v): %v", k, opts, err)
+		}
+		if d := dist.TVD(got, want.Out); d != 0 {
+			t.Errorf("request %d diverges from serial under same options, TVD %v", k, d)
+		}
+		if gotEngine != want.Engine || gotRadius != want.Radius {
+			t.Errorf("request %d metadata (%s, %d), want (%s, %d)",
+				k, gotEngine, gotRadius, want.Engine, want.Radius)
+		}
+	}
+}
+
+// TestOverrideIgnoresWorkers: per-request options cannot raise intra-request
+// parallelism past the scheduler's own setting.
+func TestOverrideIgnoresWorkers(t *testing.T) {
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := s.effective(&core.Options{Radius: 2, Workers: 64})
+	if eff.Workers != 1 {
+		t.Errorf("effective workers = %d, want scheduler's 1", eff.Workers)
+	}
+	if eff.Radius != 2 {
+		t.Errorf("radius override lost: %d", eff.Radius)
+	}
+}
+
+func TestReconstructOverrideInvalid(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testDist(10, 1)
+	bad := &core.Options{Engine: "fpga"}
+	err = s.Reconstruct(context.Background(), Request{In: in, Opts: bad},
+		func(*core.Result) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "unknown engine") {
+		t.Fatalf("invalid override: %v", err)
+	}
+	// The pooled session must remain usable for default requests afterwards.
+	if err := s.Reconstruct(context.Background(), Request{In: in},
+		func(*core.Result) error { return nil }); err != nil {
+		t.Fatalf("session poisoned by rejected override: %v", err)
+	}
+}
+
+// TestBatchMixedOverrides runs a batch whose members carry different
+// per-request options through a small worker pool, so single sessions serve
+// several configurations in sequence.
+func TestBatchMixedOverrides(t *testing.T) {
+	const n = 20
+	s, err := New(Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := make([]*dist.Dist, n)
+	opts := make([]*core.Options, n)
+	for i := range ins {
+		ins[i] = testDist(10+i%3, int64(i))
+		switch i % 4 {
+		case 1:
+			opts[i] = &core.Options{Radius: 2, Workers: 1}
+		case 2:
+			opts[i] = &core.Options{Engine: core.EngineBucketed, Workers: 1}
+		case 3:
+			opts[i] = &core.Options{TopM: 30, Workers: 1}
+		}
+	}
+	got := make([]*dist.Dist, n)
+	err = s.Batch(context.Background(), n,
+		func(i int) (Request, error) { return Request{In: ins[i], Opts: opts[i]}, nil },
+		func(i int, r *core.Result) error {
+			got[i] = r.Out.Clone()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		wantOpts := core.Options{Workers: 1}
+		if opts[i] != nil {
+			wantOpts = *opts[i]
+		}
+		want := core.Reconstruct(ins[i], wantOpts)
+		if d := dist.TVD(got[i], want.Out); d != 0 {
+			t.Errorf("request %d diverges under override %+v, TVD %v", i, opts[i], d)
+		}
+	}
+}
+
+func TestDo(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := s.Do(context.Background(), func() error { ran = true; return nil }); err != nil || !ran {
+		t.Fatalf("Do: ran=%v err=%v", ran, err)
+	}
+	sentinel := errors.New("boom")
+	if err := s.Do(context.Background(), func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("Do error = %v", err)
+	}
+	// Do draws from the same budget: with the single slot held, a canceled
+	// context must abort the wait rather than deadlock.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = s.Do(context.Background(), func() error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Do(ctx, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("Do under full budget with canceled ctx: %v", err)
+	}
+	close(release)
 }

@@ -1,0 +1,278 @@
+// Package serve holds the live per-client state of the HTTP serving layer: a
+// Manager of named streaming sessions, each one mutex-guarded stream.Stream
+// accumulating shots between requests. Where internal/sched serves stateless
+// requests from a pooled budget, this package serves stateful ones — a client
+// creates a session, ingests shot batches over many requests, and snapshots
+// at will — so the resources a session pins (the incremental engine's rows
+// and live index) must be bounded explicitly: the Manager caps the number of
+// live sessions and evicts sessions idle past a TTL.
+//
+// Concurrency contract: the Manager is safe for concurrent use. A
+// stream.Stream is not, so every access runs through Manager.Do, which
+// serializes on the session's own mutex; distinct sessions proceed in
+// parallel. Eviction is lazy — every Manager operation first sweeps expired
+// sessions — plus whatever periodic Sweep calls the owner schedules, so an
+// idle server eventually releases session memory. CPU-bound snapshot work is
+// not the Manager's concern: the HTTP layer runs it inside the scheduler's
+// shared worker budget (sched.Scheduler.Do).
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxSessions = 64
+	DefaultTTL         = 15 * time.Minute
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrNotFound: the session does not exist — never created, deleted, or
+	// evicted after sitting idle past the TTL.
+	ErrNotFound = errors.New("serve: no such session")
+	// ErrExists: a client-supplied session id collides with a live session.
+	ErrExists = errors.New("serve: session id already exists")
+	// ErrFull: the live-session cap is reached; delete a session (or let one
+	// idle out) before creating another.
+	ErrFull = errors.New("serve: session limit reached")
+)
+
+// Config configures a Manager. The zero value serves.
+type Config struct {
+	// MaxSessions caps live sessions (0 = DefaultMaxSessions). The cap is
+	// what bounds server memory: each incremental session pins O(support ·
+	// radius) engine state for its lifetime.
+	MaxSessions int
+
+	// TTL is how long a session may sit idle — no ingest, snapshot, or
+	// lookup — before eviction (0 = DefaultTTL, negative = never evict).
+	TTL time.Duration
+
+	// Now overrides the clock, for tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+// Session is one named streaming session: a stream.Stream behind its own
+// mutex, plus the idle bookkeeping eviction needs. Access the stream only
+// through Manager.Do.
+type Session struct {
+	id string
+
+	mu sync.Mutex
+	st *stream.Stream
+
+	// lastUsed and busy are guarded by the Manager's lock (not mu):
+	// lastUsed is stamped on lookup and again when the request completes,
+	// so the idle clock measures time between requests, not request
+	// duration; busy counts in-flight Do calls, and the sweeper never
+	// evicts a busy session — a request stalled past the TTL waiting for a
+	// scheduler slot must not have the session deleted out from under it.
+	lastUsed time.Time
+	busy     int
+}
+
+// ID returns the session's name.
+func (s *Session) ID() string { return s.id }
+
+// Manager owns the live sessions. Safe for concurrent use.
+type Manager struct {
+	max int
+	ttl time.Duration
+	now func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewManager returns an empty manager with cfg's limits.
+func NewManager(cfg Config) *Manager {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Manager{
+		max:      cfg.MaxSessions,
+		ttl:      cfg.TTL,
+		now:      cfg.Now,
+		sessions: make(map[string]*Session),
+	}
+}
+
+// MaxSessions returns the live-session cap.
+func (m *Manager) MaxSessions() int { return m.max }
+
+// TTL returns the idle-eviction horizon (negative = never evict).
+func (m *Manager) TTL() time.Duration { return m.ttl }
+
+// Len returns the number of live sessions after sweeping expired ones.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	return len(m.sessions)
+}
+
+// maxIDLen bounds client-supplied session ids.
+const maxIDLen = 64
+
+// validID restricts client-supplied session ids to a charset that survives
+// URL routing unescaped (letters, digits, '.', '_', '-'): an id containing
+// '/' would create a session no /v1/stream/{id} request could ever address
+// — alive, unreachable, and undeletable until the TTL.
+func validID(id string) error {
+	if len(id) > maxIDLen {
+		return fmt.Errorf("serve: session id longer than %d bytes", maxIDLen)
+	}
+	for _, c := range []byte(id) {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("serve: session id %q: byte %q not in [A-Za-z0-9._-]", id, c)
+		}
+	}
+	return nil
+}
+
+// Create builds a new session over width-bit outcomes with the given
+// (already facade-mapped) options. An empty id draws a random one; a
+// client-supplied id must be 1-64 bytes of [A-Za-z0-9._-], and one that
+// collides with a live session is ErrExists. At the session cap it is
+// ErrFull — expired sessions are swept first, so a full manager means max
+// genuinely live sessions. Invalid width or options surface as stream.New's
+// errors.
+func (m *Manager) Create(id string, width int, opts core.Options) (*Session, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	st, err := stream.New(width, opts)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	if id == "" {
+		id = m.freshIDLocked()
+	} else if _, dup := m.sessions[id]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	if len(m.sessions) >= m.max {
+		return nil, fmt.Errorf("%w (%d live)", ErrFull, len(m.sessions))
+	}
+	s := &Session{id: id, st: st, lastUsed: m.now()}
+	m.sessions[id] = s
+	return s, nil
+}
+
+// Do looks the session up, marks it used, and runs fn with exclusive access
+// to its stream. fn must not retain the stream past its return. Concurrent
+// Do calls on one session serialize; distinct sessions run in parallel. An
+// unknown (or already evicted) id is ErrNotFound. While fn runs (or waits
+// for the session lock) the session is immune to TTL eviction, and the idle
+// clock restarts when fn returns — only time between requests counts as
+// idle. An explicit Delete still wins: it removes the session from the map
+// immediately, and the in-flight fn merely finishes on the detached stream.
+func (m *Manager) Do(id string, fn func(*stream.Stream) error) error {
+	m.mu.Lock()
+	m.sweepLocked()
+	s, ok := m.sessions[id]
+	if ok {
+		s.lastUsed = m.now()
+		s.busy++
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	defer func() {
+		m.mu.Lock()
+		s.busy--
+		s.lastUsed = m.now()
+		m.mu.Unlock()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fn(s.st)
+}
+
+// Delete removes a session. Unknown ids are ErrNotFound. A request already
+// inside Do on the session finishes normally; later requests get ErrNotFound.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	if _, ok := m.sessions[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(m.sessions, id)
+	return nil
+}
+
+// IDs returns the live session ids in sorted order (after a sweep).
+func (m *Manager) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Sweep evicts every session idle past the TTL and reports how many went.
+// Every other Manager operation sweeps implicitly; owners with idle periods
+// call it from a ticker so an unvisited server still releases memory.
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked()
+}
+
+func (m *Manager) sweepLocked() int {
+	if m.ttl < 0 {
+		return 0
+	}
+	deadline := m.now().Add(-m.ttl)
+	evicted := 0
+	for id, s := range m.sessions {
+		if s.busy == 0 && s.lastUsed.Before(deadline) {
+			delete(m.sessions, id)
+			evicted++
+		}
+	}
+	return evicted
+}
+
+// freshIDLocked draws a random 8-byte hex id not currently in use.
+func (m *Manager) freshIDLocked() string {
+	for {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand never fails on supported platforms; loudly if so.
+			panic(fmt.Sprintf("serve: id generation: %v", err))
+		}
+		id := hex.EncodeToString(b[:])
+		if _, dup := m.sessions[id]; !dup {
+			return id
+		}
+	}
+}

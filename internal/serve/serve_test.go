@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// fakeClock is an adjustable Config.Now for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestManagerCreateGetDelete(t *testing.T) {
+	m := NewManager(Config{})
+	if m.MaxSessions() != DefaultMaxSessions || m.TTL() != DefaultTTL {
+		t.Fatalf("defaults: %d, %v", m.MaxSessions(), m.TTL())
+	}
+	s, err := m.Create("", 8, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID() == "" || m.Len() != 1 {
+		t.Fatalf("id %q, len %d", s.ID(), m.Len())
+	}
+	named, err := m.Create("qaoa-7", 8, core.Options{Workers: 1})
+	if err != nil || named.ID() != "qaoa-7" {
+		t.Fatalf("named create: %v, %v", named, err)
+	}
+	if _, err := m.Create("qaoa-7", 8, core.Options{Workers: 1}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate id: %v", err)
+	}
+	if err := m.Do(s.ID(), func(st *stream.Stream) error {
+		return st.IngestN(bitstr.Bits(0b101), 3)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Do(s.ID(), func(st *stream.Stream) error {
+		if st.Shots() != 3 {
+			return fmt.Errorf("shots %d", st.Shots())
+		}
+		return nil
+	}); err != nil {
+		t.Error(err)
+	}
+	if ids := m.IDs(); len(ids) != 2 || ids[1] != "qaoa-7" && ids[0] != "qaoa-7" {
+		t.Errorf("IDs() = %v", ids)
+	}
+	if err := m.Delete(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(s.ID()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if err := m.Do(s.ID(), func(*stream.Stream) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Do after delete: %v", err)
+	}
+}
+
+func TestManagerInvalidCreate(t *testing.T) {
+	m := NewManager(Config{})
+	if _, err := m.Create("", 0, core.Options{}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := m.Create("", 8, core.Options{Radius: -1}); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if _, err := m.Create("", 8, core.Options{Engine: "fpga"}); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	for _, id := range []string{"run/7", "a b", "x\n", "é", strings.Repeat("a", 65)} {
+		if _, err := m.Create(id, 8, core.Options{Workers: 1}); err == nil {
+			t.Errorf("unroutable id %q accepted", id)
+		}
+	}
+	if _, err := m.Create(strings.Repeat("a", 64)+".-_", 8, core.Options{Workers: 1}); err == nil {
+		t.Error("overlong id accepted")
+	}
+	if _, err := m.Create("ok.id-1_A", 8, core.Options{Workers: 1}); err != nil {
+		t.Errorf("valid id rejected: %v", err)
+	} else if err := m.Delete("ok.id-1_A"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("failed creates leaked sessions: %d", m.Len())
+	}
+}
+
+func TestManagerCap(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Create("", 6, core.Options{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Create("", 6, core.Options{Workers: 1}); !errors.Is(err, ErrFull) {
+		t.Fatalf("over cap: %v", err)
+	}
+	// Deleting frees a slot.
+	if err := m.Delete(m.IDs()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("", 6, core.Options{Workers: 1}); err != nil {
+		t.Errorf("create after delete: %v", err)
+	}
+}
+
+func TestManagerTTLEviction(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewManager(Config{TTL: time.Minute, Now: clk.now})
+	s, err := m.Create("", 6, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle, err := m.Create("", 6, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touching s keeps it alive across the horizon; idle is not touched.
+	clk.advance(40 * time.Second)
+	if err := m.Do(s.ID(), func(st *stream.Stream) error {
+		return st.Ingest(bitstr.Bits(1))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(40 * time.Second)
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("Sweep() = %d, want 1", n)
+	}
+	if err := m.Do(idle.ID(), func(*stream.Stream) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("evicted session still served: %v", err)
+	}
+	if err := m.Do(s.ID(), func(*stream.Stream) error { return nil }); err != nil {
+		t.Errorf("recently used session evicted: %v", err)
+	}
+	// Mid-stream state does not protect an idle session: the shots ingested
+	// above are gone once the TTL lapses without further traffic.
+	clk.advance(2 * time.Minute)
+	if err := m.Do(s.ID(), func(*stream.Stream) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Errorf("idle mid-stream session survived TTL: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len() = %d after full eviction", m.Len())
+	}
+}
+
+func TestManagerNegativeTTLNeverEvicts(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewManager(Config{TTL: -1, Now: clk.now})
+	if _, err := m.Create("pinned", 6, core.Options{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(1000 * time.Hour)
+	if n := m.Sweep(); n != 0 || m.Len() != 1 {
+		t.Errorf("negative TTL evicted: swept %d, len %d", n, m.Len())
+	}
+}
+
+// TestManagerConcurrent hammers one manager from many goroutines (run under
+// -race in CI): concurrent creates, ingests on shared and private sessions,
+// sweeps, and deletes must serialize per session without deadlock.
+func TestManagerConcurrent(t *testing.T) {
+	m := NewManager(Config{MaxSessions: 128})
+	shared, err := m.Create("shared", 8, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			own, err := m.Create("", 8, core.Options{Workers: 1})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for k := 0; k < 25; k++ {
+				for _, id := range []string{shared.ID(), own.ID()} {
+					if err := m.Do(id, func(st *stream.Stream) error {
+						return st.IngestN(bitstr.Bits(g), 1)
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				m.Sweep()
+			}
+			if err := m.Delete(own.ID()); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Do(shared.ID(), func(st *stream.Stream) error {
+		if st.Shots() != 8*25 {
+			return fmt.Errorf("shared session shots = %d, want %d", st.Shots(), 8*25)
+		}
+		return nil
+	}); err != nil {
+		t.Error(err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len() = %d, want 1 (shared only)", m.Len())
+	}
+}
+
+// TestManagerBusySessionNotEvicted: a session whose request outlives the TTL
+// (e.g. stalled waiting for a scheduler slot) must not be evicted mid-flight,
+// and its idle clock restarts when the request completes.
+func TestManagerBusySessionNotEvicted(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	m := NewManager(Config{TTL: time.Minute, Now: clk.now})
+	s, err := m.Create("slow", 6, core.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Do(s.ID(), func(st *stream.Stream) error {
+			close(entered)
+			<-release
+			return st.Ingest(bitstr.Bits(1))
+		})
+	}()
+	<-entered
+	// The request stalls far past the TTL; sweeps must leave it alone.
+	clk.advance(10 * time.Minute)
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("swept %d busy sessions", n)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Completion restarted the idle clock: the session survives sweeps until
+	// a fresh TTL elapses from the request's END, then goes.
+	clk.advance(30 * time.Second)
+	if n := m.Sweep(); n != 0 || m.Len() != 1 {
+		t.Fatalf("session evicted %ds after request completion (swept %d)", 30, n)
+	}
+	clk.advance(time.Minute)
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("idle session not evicted after completion + TTL (swept %d)", n)
+	}
+}

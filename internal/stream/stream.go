@@ -1,16 +1,3 @@
-// Package stream ingests measurement shots incrementally and serves HAMMER
-// reconstructions of the histogram accumulated so far. A real deployment
-// receives shots as a stream — a long-running experiment wants reconstructed
-// snapshots long before the run finishes — so instead of re-running the batch
-// pipeline per request, the stream maintains the shot counts and the engine's
-// CHS/neighborhood state incrementally (internal/core.Incremental over the
-// popcount-bucketed live index of internal/dist) and invalidates only the
-// Hamming neighborhoods the new shots touched.
-//
-// All batch options remain available: configurations the incremental state
-// cannot serve (TopM truncation, an explicitly pinned batch engine) fall back
-// to a full reconstruction per snapshot, so a Stream snapshot always agrees
-// with the batch pipeline on the same accumulated histogram.
 package stream
 
 import (

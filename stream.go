@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitstr"
+	"repro/internal/core"
 	"repro/internal/stream"
 )
 
@@ -30,6 +31,21 @@ import (
 type Stream struct {
 	n     int
 	inner *stream.Stream
+}
+
+// StreamOptions maps a Config onto the single-threaded core options a served
+// streaming session runs with: the same facade mapping as SessionOptions, but
+// deferring engine validation to the stream layer, which additionally admits
+// the streaming-only "incremental" engine (a batch-path error). Full
+// validation happens where the stream is built (stream.New); in-module
+// servers use this to turn per-session wire Configs into stream options.
+func StreamOptions(cfg Config) (core.Options, error) {
+	opts, err := cfg.options()
+	if err != nil {
+		return core.Options{}, err
+	}
+	opts.Workers = 1
+	return opts, nil
 }
 
 // NewStream returns an empty shot stream over numBits-bit outcomes. The
