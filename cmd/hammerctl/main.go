@@ -27,10 +27,14 @@
 // JSON service: stateless reconstruction (POST /v1/reconstruct, POST
 // /v1/batch — both accepting per-request "config" overrides), live streaming
 // sessions (POST /v1/stream, POST /v1/stream/{id}/shots, GET/DELETE
-// /v1/stream/{id}), and GET /healthz. The wire format is documented in
-// docs/api.md.
+// /v1/stream/{id}), GET /healthz, and Prometheus metrics at GET /metrics.
+// Repeated identical /v1/reconstruct requests are served from an LRU result
+// cache (-cache-entries; the X-Hammer-Cache response header reports hit or
+// miss). The wire format is documented in docs/api.md; metrics, cache
+// tuning, and capacity planning in docs/operations.md.
 //
-//	hammerctl serve -addr :8787 -workers 8 -max-sessions 64 -session-ttl 15m
+//	hammerctl serve -addr :8787 -workers 8 -max-sessions 64 -session-ttl 15m \
+//	    -cache-entries 1024
 package main
 
 import (

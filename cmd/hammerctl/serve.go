@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	hammer "repro"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/sched"
@@ -35,12 +37,14 @@ const maxRequestBytes = 32 << 20
 //	GET    /v1/stream/{id}        snapshot of everything ingested so far
 //	DELETE /v1/stream/{id}        delete the session
 //	GET    /healthz               {"ok": true, ...}
+//	GET    /metrics               Prometheus text format (docs/operations.md)
 func runServe(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hammerctl serve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", ":8787", "listen address")
 	maxSessions := fs.Int("max-sessions", serve.DefaultMaxSessions, "cap on live streaming sessions")
 	sessionTTL := fs.Duration("session-ttl", serve.DefaultTTL, "idle streaming sessions are evicted after this long (0 = never evict)")
+	cacheEntries := fs.Int("cache-entries", cache.DefaultEntries, "LRU result-cache capacity for /v1/reconstruct (0 = disable caching)")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -58,7 +62,7 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	srv, err := newServerWith(*cfg, cfg.Workers, serve.Config{
 		MaxSessions: *maxSessions,
 		TTL:         ttl,
-	})
+	}, *cacheEntries)
 	if err != nil {
 		return err
 	}
@@ -91,8 +95,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %d session slots)\n",
-		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.mgr.MaxSessions())
+	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %d session slots, %d cache entries)\n",
+		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.mgr.MaxSessions(), srv.cache.Capacity())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
 }
@@ -104,43 +108,71 @@ func engineLabel(name string) string {
 	return name
 }
 
-// server is the HTTP facade over one shared scheduler and the streaming
-// session manager. base is the server-level Config the CLI flags set; wire
-// bodies may override it per request ("config") or per session.
+// server is the HTTP facade over one shared scheduler, the streaming session
+// manager, the result cache, and the metrics registry. base is the
+// server-level Config the CLI flags set; wire bodies may override it per
+// request ("config") or per session.
 type server struct {
 	sch  *sched.Scheduler
 	mgr  *serve.Manager
 	base hammer.Config
+	// cache maps a canonical (histogram, options) key to the rendered
+	// response body, so a hit writes stored bytes verbatim — byte-identical
+	// to the miss that filled it, with no re-encoding on the hot path.
+	cache   *cache.LRU[[]byte]
+	metrics *serverMetrics
 }
 
-// newServer builds a server with default session-manager limits (tests and
-// embedders); runServe passes the flag-configured limits via newServerWith.
+// newServer builds a server with default session-manager limits and cache
+// capacity (tests and embedders); runServe passes the flag-configured values
+// via newServerWith.
 func newServer(cfg hammer.Config, workers int) (*server, error) {
-	return newServerWith(cfg, workers, serve.Config{})
+	return newServerWith(cfg, workers, serve.Config{}, cache.DefaultEntries)
 }
 
-// newServerWith builds the scheduler and session manager the handlers share.
-// The -workers flag is the request-level concurrency (the shared budget
-// single requests, batch members, and streaming snapshots draw from), exactly
-// as in hammer.RunBatch; each request runs single-threaded inside its slot.
-// The option mapping is the facade's own (hammer.NewScheduler /
-// hammer.SessionOptions), so serve honors every Config knob the library does.
-func newServerWith(cfg hammer.Config, workers int, sc serve.Config) (*server, error) {
+// newServerWith builds the scheduler, session manager, result cache, and
+// metrics the handlers share. The -workers flag is the request-level
+// concurrency (the shared budget single requests, batch members, and
+// streaming snapshots draw from), exactly as in hammer.RunBatch; each request
+// runs single-threaded inside its slot. The option mapping is the facade's
+// own (hammer.NewScheduler / hammer.SessionOptions), so serve honors every
+// Config knob the library does. cacheEntries caps the /v1/reconstruct result
+// cache (0 disables caching; the cache metrics then render as zeros).
+func newServerWith(cfg hammer.Config, workers int, sc serve.Config, cacheEntries int) (*server, error) {
 	sch, err := hammer.NewScheduler(cfg, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &server{sch: sch, mgr: serve.NewManager(sc), base: cfg}, nil
+	c := cache.New[[]byte](cacheEntries)
+	mgr := serve.NewManager(sc)
+	m := newServerMetrics(mgr.Len, c)
+	sch.Instrument(m.sched)
+	mgr.Instrument(m.serve)
+	return &server{sch: sch, mgr: mgr, base: cfg, cache: c, metrics: m}, nil
 }
 
+// mux registers the routes. Patterns use net/http's 1.22+ wildcard syntax,
+// and the middleware reads the matched pattern back (http.Request.Pattern)
+// as the metrics endpoint label — one route table serves both dispatch and
+// labeling, so a route cannot be added without being labeled. The "/"
+// catch-all keeps unknown paths inside the middleware too: 404s get the
+// error envelope and are counted.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/reconstruct", s.handleReconstruct)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/stream", s.handleStreamCreate)
-	mux.HandleFunc("/v1/stream/", s.handleStreamSession)
+	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
+	mux.HandleFunc("/v1/reconstruct", s.instrument(s.handleReconstruct))
+	mux.HandleFunc("/v1/batch", s.instrument(s.handleBatch))
+	mux.HandleFunc("/v1/stream", s.instrument(s.handleStreamCreate))
+	mux.HandleFunc("/v1/stream/{id}", s.instrument(s.handleStreamByID))
+	mux.HandleFunc("/v1/stream/{id}/shots", s.instrument(s.handleStreamShots))
+	mux.HandleFunc("/", s.instrument(s.handleNotFound))
 	return mux
+}
+
+// handleNotFound is the enveloped 404 for paths matching no route.
+func (s *server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, -1, fmt.Errorf("no such endpoint %s", r.URL.Path))
 }
 
 // wireConfig is the per-request/per-session "config" override object:
@@ -249,6 +281,24 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
 	}
+	// Result cache: repeated identical (histogram, options) requests — the
+	// QAOA-optimizer pattern — skip reconstruction entirely. The key is a
+	// canonical hash over the validated effective options, so the bare and
+	// {"counts": ...} spellings of one request share an entry. Cached
+	// responses are immutable by contract: handlers only marshal them.
+	var key string
+	if s.cache != nil {
+		eff := s.sch.Options()
+		if opts != nil {
+			eff = *opts
+		}
+		key = cache.Key(histogram, eff)
+		if body, ok := s.cache.Get(key); ok {
+			w.Header().Set(cacheHeader, cacheHit)
+			writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
+	}
 	in, _, err := dist.FromHistogram(histogram)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, -1, err)
@@ -263,8 +313,41 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(r, err), -1, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if s.cache == nil {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	// Render once: the same bytes are stored (immutable from here on) and
+	// written, so a later hit is byte-identical to this miss.
+	body, err = encodeJSON(resp)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, -1, err)
+		return
+	}
+	// Outsized responses (a histogram near the 32 MiB body cap renders to
+	// tens of MiB) are served but not stored, or -cache-entries such bodies
+	// would bound tens of GiB of memory instead of the documented
+	// entries × 1 MiB worst case.
+	if len(body) <= maxCachedResponseBytes {
+		s.cache.Put(key, body)
+	}
+	w.Header().Set(cacheHeader, cacheMiss)
+	writeJSONBytes(w, http.StatusOK, body)
 }
+
+// maxCachedResponseBytes caps one cached response body (~20k outcomes at
+// ~50 bytes each); together with -cache-entries it bounds cache memory at
+// entries × 1 MiB worst case.
+const maxCachedResponseBytes = 1 << 20
+
+// The X-Hammer-Cache response header reports how /v1/reconstruct used the
+// result cache; it is absent when caching is disabled (-cache-entries 0) and
+// on error responses.
+const (
+	cacheHeader = "X-Hammer-Cache"
+	cacheHit    = "hit"
+	cacheMiss   = "miss"
+)
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -371,12 +454,29 @@ func readJSONBody(w http.ResponseWriter, r *http.Request, extraTypes ...string) 
 		writeError(w, http.StatusUnsupportedMediaType, -1, err)
 		return nil, false
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	// MaxBytesReader gets the unwrapped writer: on an oversized body it
+	// marks the connection Connection: close through a private type
+	// assertion on exactly the writer it is handed, which the metrics
+	// middleware's wrapper would otherwise defeat (it only flags the
+	// connection — the 413 envelope is still written through w).
+	body, err := io.ReadAll(http.MaxBytesReader(unwrapWriter(w), r.Body, maxRequestBytes))
 	if err != nil {
 		writeError(w, bodyStatus(err), -1, err)
 		return nil, false
 	}
 	return body, true
+}
+
+// unwrapWriter follows Unwrap chains down to the ResponseWriter net/http
+// itself handed out.
+func unwrapWriter(w http.ResponseWriter) http.ResponseWriter {
+	for {
+		u, ok := w.(interface{ Unwrap() http.ResponseWriter })
+		if !ok {
+			return w
+		}
+		w = u.Unwrap()
+	}
 }
 
 // bodyStatus distinguishes an oversized body (413) from a body that simply
@@ -391,8 +491,16 @@ func bodyStatus(err error) int {
 
 // decodeReconstruct decodes one reconstruction request: a bare {"0101": mass}
 // histogram object, or a {"counts": {...}} wrapper optionally carrying a
-// per-request {"config": {...}} override.
+// per-request {"config": {...}} override. The bare form is tried first: it
+// parses in one pass (a wrapper body fails it immediately — "counts" maps to
+// an object, not a number), and it is the shape cache-hit traffic arrives
+// in, where decoding is most of the remaining latency.
 func decodeReconstruct(body []byte) (map[string]float64, *wireConfig, error) {
+	var bare map[string]float64
+	bareErr := json.Unmarshal(body, &bare)
+	if bareErr == nil {
+		return bare, nil, nil
+	}
 	var wrapped struct {
 		Counts map[string]float64 `json:"counts"`
 		Config *wireConfig        `json:"config"`
@@ -400,11 +508,7 @@ func decodeReconstruct(body []byte) (map[string]float64, *wireConfig, error) {
 	if err := json.Unmarshal(body, &wrapped); err == nil && len(wrapped.Counts) > 0 {
 		return wrapped.Counts, wrapped.Config, nil
 	}
-	var bare map[string]float64
-	if err := json.Unmarshal(body, &bare); err != nil {
-		return nil, nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", err)
-	}
-	return bare, nil, nil
+	return nil, nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", bareErr)
 }
 
 // decodeHistogram is the CLI's reading of the same shapes (per-request config
@@ -436,12 +540,38 @@ func failedIndex(err error) int {
 	return -1
 }
 
+// writeJSON renders and writes v through the same encoder as encodeJSON, so
+// a stored-then-replayed response (the cache) and a directly written one are
+// byte-identical by construction, not by keeping two encoder configurations
+// in sync.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := encodeJSON(v)
+	if err != nil {
+		// Unreachable for the wire types (plain structs and string-keyed
+		// maps); keep the envelope shape if a future type breaks that.
+		http.Error(w, `{"error": "response encoding failed", "index": -1}`, http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, status, body)
+}
+
+// encodeJSON is the one place a wire response is rendered: indented,
+// newline-terminated.
+func encodeJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeJSONBytes writes an already rendered JSON body.
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, status, index int, err error) {

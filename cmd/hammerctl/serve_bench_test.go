@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	hammer "repro"
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+	"repro/internal/serve"
+)
+
+// benchHistogramJSON builds one §6.6-shaped workload histogram (Hamming
+// cluster plus uniform tail) as a wire body.
+func benchHistogramJSON(b *testing.B, bits, support int) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	d := dist.New(bits)
+	key := bitstr.Bits(rng.Int63()) & bitstr.AllOnes(bits)
+	d.Set(key, 0.05)
+	for i := 0; i < bits && d.Len() < support; i++ {
+		d.Set(bitstr.Flip(key, i), 0.01+0.01*rng.Float64())
+	}
+	for d.Len() < support {
+		d.Set(bitstr.Bits(rng.Int63())&bitstr.AllOnes(bits), 1e-4*(1+rng.Float64()))
+	}
+	d.Normalize()
+	h := make(map[string]float64, d.Len())
+	d.Range(func(x bitstr.Bits, p float64) { h[bitstr.Format(x, bits)] = p })
+	body, err := json.Marshal(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+// benchReconstruct drives POST /v1/reconstruct through the full handler
+// stack (middleware, decode, cache, JSON encode) with the recorder as the
+// wire.
+func benchReconstruct(b *testing.B, cacheEntries int, wantHeader string) {
+	b.Helper()
+	srv, err := newServerWith(hammer.Config{}, 1, serve.Config{}, cacheEntries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mux := srv.mux()
+	body := benchHistogramJSON(b, 20, 4000)
+	do := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/reconstruct", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		return rec
+	}
+	if rec := do(); rec.Code != http.StatusOK {
+		b.Fatalf("warm-up status %d: %s", rec.Code, rec.Body)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := do()
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+		if got := rec.Header().Get(cacheHeader); got != wantHeader {
+			b.Fatalf("%s = %q, want %q", cacheHeader, got, wantHeader)
+		}
+	}
+}
+
+// BenchmarkCachedReconstruct measures a served cache hit: every timed
+// request is the warmed-up repeat of one identical histogram, the
+// QAOA-optimizer traffic pattern. Compare against
+// BenchmarkUncachedReconstruct for the hit speedup (cmd/cachebench emits the
+// ratio as BENCH_cache.json; the acceptance floor is 10x).
+func BenchmarkCachedReconstruct(b *testing.B) {
+	benchReconstruct(b, 64, cacheHit)
+}
+
+// BenchmarkUncachedReconstruct is the same request served with caching
+// disabled: a full reconstruction per timed request.
+func BenchmarkUncachedReconstruct(b *testing.B) {
+	benchReconstruct(b, 0, "")
+}

@@ -97,10 +97,6 @@ func streamStatus(r *http.Request, err error) int {
 
 // handleStreamCreate serves POST /v1/stream.
 func (s *server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/v1/stream" {
-		writeError(w, http.StatusNotFound, -1, fmt.Errorf("no such endpoint %s", r.URL.Path))
-		return
-	}
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
 		return
@@ -132,31 +128,26 @@ func (s *server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleStreamSession routes /v1/stream/{id} (GET snapshot, DELETE) and
-// /v1/stream/{id}/shots (POST ingest).
-func (s *server) handleStreamSession(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/stream/")
-	parts := strings.Split(rest, "/")
-	switch {
-	case len(parts) == 1 && parts[0] != "":
-		id := parts[0]
-		switch r.Method {
-		case http.MethodGet:
-			s.streamSnapshot(w, r, id)
-		case http.MethodDelete:
-			s.streamDelete(w, r, id)
-		default:
-			writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
-		}
-	case len(parts) == 2 && parts[0] != "" && parts[1] == "shots":
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
-			return
-		}
-		s.streamIngest(w, r, parts[0])
+// handleStreamByID serves /v1/stream/{id}: GET snapshot, DELETE.
+func (s *server) handleStreamByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch r.Method {
+	case http.MethodGet:
+		s.streamSnapshot(w, r, id)
+	case http.MethodDelete:
+		s.streamDelete(w, r, id)
 	default:
-		writeError(w, http.StatusNotFound, -1, fmt.Errorf("no such endpoint %s", r.URL.Path))
+		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
 	}
+}
+
+// handleStreamShots serves POST /v1/stream/{id}/shots.
+func (s *server) handleStreamShots(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
+		return
+	}
+	s.streamIngest(w, r, r.PathValue("id"))
 }
 
 // snapshotLocked reconstructs a held session and formats the response.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	hammer "repro"
+	"repro/internal/cache"
 	"repro/internal/serve"
 )
 
@@ -20,7 +21,7 @@ import (
 // (fake clocks, tiny caps) for the eviction and capacity tests.
 func newTestServerWith(t *testing.T, cfg hammer.Config, workers int, sc serve.Config) *httptest.Server {
 	t.Helper()
-	srv, err := newServerWith(cfg, workers, sc)
+	srv, err := newServerWith(cfg, workers, sc, cache.DefaultEntries)
 	if err != nil {
 		t.Fatal(err)
 	}

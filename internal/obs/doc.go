@@ -1,0 +1,30 @@
+// Package obs is the serving layer's dependency-free observability kit:
+// counters, gauges, and fixed-bucket histograms behind one Registry that
+// renders the Prometheus text exposition format (version 0.0.4).
+//
+// Contract:
+//
+//   - Hot-path cost. Every instrument update is one or two atomic operations
+//     (a histogram Observe is one bucket add plus one CAS-looped float add);
+//     there are no locks, allocations, or time lookups on the update path.
+//     Vec lookups (With) take a read lock over a small map and should be
+//     hoisted out of loops when the label set is known up front.
+//   - Nil safety. Update methods on nil instruments are no-ops, so packages
+//     accept optional instrument sets (a nil *Metrics struct field) and
+//     instrument their hot paths unconditionally; the uninstrumented cost is
+//     one nil check.
+//   - Concurrency. All instruments and the Registry are safe for concurrent
+//     use. Rendering is a read-side snapshot: it never blocks updates, and a
+//     scrape racing an update sees either the old or the new value. Histogram
+//     bucket counts and the sum are updated independently, so a scrape can
+//     observe a sum slightly ahead of the buckets (standard for lock-free
+//     histograms); counts themselves are never lost.
+//   - Registration. Instrument constructors panic on a duplicate or invalid
+//     metric name — registration happens at server construction, where a
+//     clash is a programming error, never at request time.
+//   - Rendering. WritePrometheus emits metrics sorted by name, each with
+//     # HELP and # TYPE headers, histograms with cumulative _bucket series,
+//     _sum, and _count. The output always passes ValidateText, the package's
+//     own pure-Go exposition-format checker (itself used by the CI smoke
+//     test against a live /metrics endpoint).
+package obs

@@ -1,0 +1,585 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets is the default histogram bucket layout for request
+// latencies, in seconds: reconstruction work spans ~100µs (a cache hit or a
+// tiny histogram) to tens of seconds (a wide batch member on a loaded
+// server), so the buckets cover 100µs..10s at roughly 1-2.5-5 steps.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metric is one named instrument the Registry can render.
+type metric interface {
+	// render writes the metric's # HELP/# TYPE header and sample lines.
+	render(w *strings.Builder)
+}
+
+// Registry holds named instruments and renders them in the Prometheus text
+// exposition format. Construct instruments through its methods; the zero
+// Registry is not usable, use NewRegistry.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// register adds a named metric, panicking on duplicates or invalid names:
+// registration runs at server construction, where both are programming
+// errors.
+func (r *Registry) register(name string, m metric) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric name %q", name))
+	}
+	r.metrics[name] = m
+}
+
+// WritePrometheus renders every registered metric, sorted by name, in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	ms := make([]metric, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		ms = append(ms, r.metrics[name])
+	}
+	r.mu.Unlock()
+	var b strings.Builder
+	for _, m := range ms {
+		m.render(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// validMetricName reports whether name matches the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// header writes the # HELP and # TYPE lines for one metric family. Newlines
+// in help would corrupt the line-oriented format and are escaped.
+func header(b *strings.Builder, name, help, typ string) {
+	b.WriteString("# HELP ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help))
+	b.WriteByte('\n')
+	b.WriteString("# TYPE ")
+	b.WriteString(name)
+	b.WriteByte(' ')
+	b.WriteString(typ)
+	b.WriteByte('\n')
+}
+
+// formatValue renders a sample value the way Prometheus clients do: shortest
+// round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline per the
+// exposition format.
+var escapeLabelValue = strings.NewReplacer("\\", `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelPairs renders {name="value",...} for parallel name/value slices, with
+// an optional extra pair appended (the histogram "le" label). Empty input
+// renders nothing.
+func labelPairs(b *strings.Builder, names, values []string, extraName, extraValue string) {
+	if len(names) == 0 && extraName == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// Counter is a monotonically increasing integer counter. Update methods on a
+// nil Counter are no-ops.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) render(b *strings.Builder) {
+	header(b, c.name, c.help, "counter")
+	b.WriteString(c.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// CounterFunc is a counter whose value is read from a callback at render
+// time — for components that keep their own monotonic tallies (the result
+// cache's hit/miss/eviction counts). fn must be safe for concurrent use and
+// must never decrease.
+type CounterFunc struct {
+	name, help string
+	fn         func() uint64
+}
+
+// CounterFunc registers a render-time counter backed by fn.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) *CounterFunc {
+	c := &CounterFunc{name: name, help: help, fn: fn}
+	r.register(name, c)
+	return c
+}
+
+func (c *CounterFunc) render(b *strings.Builder) {
+	header(b, c.name, c.help, "counter")
+	b.WriteString(c.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(c.fn(), 10))
+	b.WriteByte('\n')
+}
+
+// Gauge is an integer value that can go up and down (queue depths, in-flight
+// request counts). Update methods on a nil Gauge are no-ops.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(name, g)
+	return g
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value (0 on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) render(b *strings.Builder) {
+	header(b, g.name, g.help, "gauge")
+	b.WriteString(g.name)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(g.v.Load(), 10))
+	b.WriteByte('\n')
+}
+
+// GaugeFunc is a gauge whose value is read from a callback at render time —
+// for values another component already owns (live session count, cache
+// entries). fn must be safe for concurrent use.
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// GaugeFunc registers a render-time gauge backed by fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.register(name, g)
+	return g
+}
+
+func (g *GaugeFunc) render(b *strings.Builder) {
+	header(b, g.name, g.help, "gauge")
+	b.WriteString(g.name)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(g.fn()))
+	b.WriteByte('\n')
+}
+
+// atomicFloat is a float64 accumulated with a CAS loop over its bits.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// histogramData is the lock-free state shared by Histogram and HistogramVec
+// children: per-bucket (non-cumulative) counts — the last slot is the +Inf
+// overflow — plus the sum of observations.
+type histogramData struct {
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomicFloat
+}
+
+func newHistogramData(bounds []float64) *histogramData {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing at %v", bounds[i]))
+		}
+	}
+	return &histogramData{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+func (h *histogramData) observe(v float64) {
+	// Linear scan: bucket counts are small (~16) and the branch pattern is
+	// predictable, so this beats binary search at these sizes.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.add(v)
+}
+
+// render writes the cumulative _bucket series, _sum, and _count for one
+// label set (names/values may be empty).
+func (h *histogramData) render(b *strings.Builder, name string, names, values []string) {
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatValue(h.bounds[i])
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		labelPairs(b, names, values, "le", le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	labelPairs(b, names, values, "", "")
+	b.WriteByte(' ')
+	b.WriteString(formatValue(h.sum.load()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	labelPairs(b, names, values, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations (latencies
+// in seconds, by convention). Observe on a nil Histogram is a no-op.
+type Histogram struct {
+	name, help string
+	data       *histogramData
+}
+
+// Histogram registers a histogram with the given strictly increasing bucket
+// upper bounds (the +Inf bucket is implicit; buckets is copied).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := &Histogram{name: name, help: help, data: newHistogramData(append([]float64(nil), buckets...))}
+	r.register(name, h)
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.data.observe(v)
+}
+
+// Count returns the number of observations so far (0 on a nil Histogram).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var n uint64
+	for i := range h.data.counts {
+		n += h.data.counts[i].Load()
+	}
+	return n
+}
+
+func (h *Histogram) render(b *strings.Builder) {
+	header(b, h.name, h.help, "histogram")
+	h.data.render(b, h.name, nil, nil)
+}
+
+// vecKey joins label values into one map key. \xff cannot appear in UTF-8
+// text, so distinct value tuples never collide.
+func vecKey(values []string) string { return strings.Join(values, "\xff") }
+
+// child pairs one label-value tuple with its instrument state.
+type child[T any] struct {
+	values []string
+	data   T
+}
+
+// vec is the shared child-map machinery of CounterVec and HistogramVec.
+type vec[T any] struct {
+	labels   []string
+	mu       sync.RWMutex
+	children map[string]*child[T]
+}
+
+func newVec[T any](name string, labels []string) *vec[T] {
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", name, l))
+		}
+	}
+	return &vec[T]{labels: labels, children: make(map[string]*child[T])}
+}
+
+// get returns the child for the given values, creating it with mk on first
+// use. The fast path is a read-locked map hit.
+func (v *vec[T]) get(name string, values []string, mk func() T) *child[T] {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: metric %q: %d label values for %d labels", name, len(values), len(v.labels)))
+	}
+	key := vecKey(values)
+	v.mu.RLock()
+	c := v.children[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[key]; c == nil {
+		c = &child[T]{values: append([]string(nil), values...), data: mk()}
+		v.children[key] = c
+	}
+	return c
+}
+
+// snapshot returns the children sorted by label values, for deterministic
+// rendering.
+func (v *vec[T]) snapshot() []*child[T] {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	cs := make([]*child[T], 0, len(keys))
+	v.mu.RLock()
+	for _, k := range keys {
+		cs = append(cs, v.children[k])
+	}
+	v.mu.RUnlock()
+	return cs
+}
+
+// CounterVec is a family of counters distinguished by label values (e.g.
+// requests by endpoint and status class). Children are created on first use.
+type CounterVec struct {
+	name, help string
+	vec        *vec[*atomic.Uint64]
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	c := &CounterVec{name: name, help: help, vec: newVec[*atomic.Uint64](name, labels)}
+	r.register(name, c)
+	return c
+}
+
+// Add adds n to the child with the given label values (created on first
+// use). A nil CounterVec is a no-op.
+func (c *CounterVec) Add(n uint64, values ...string) {
+	if c == nil {
+		return
+	}
+	c.vec.get(c.name, values, func() *atomic.Uint64 { return new(atomic.Uint64) }).data.Add(n)
+}
+
+// Inc adds one to the child with the given label values.
+func (c *CounterVec) Inc(values ...string) { c.Add(1, values...) }
+
+// Value returns the child's current count, 0 if that label combination has
+// never been incremented (or c is nil).
+func (c *CounterVec) Value(values ...string) uint64 {
+	if c == nil {
+		return 0
+	}
+	c.vec.mu.RLock()
+	defer c.vec.mu.RUnlock()
+	if ch := c.vec.children[vecKey(values)]; ch != nil {
+		return ch.data.Load()
+	}
+	return 0
+}
+
+func (c *CounterVec) render(b *strings.Builder) {
+	header(b, c.name, c.help, "counter")
+	for _, ch := range c.vec.snapshot() {
+		b.WriteString(c.name)
+		labelPairs(b, c.vec.labels, ch.values, "", "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(ch.data.Load(), 10))
+		b.WriteByte('\n')
+	}
+}
+
+// HistogramVec is a family of fixed-bucket histograms distinguished by label
+// values (e.g. request latency by endpoint). Children are created on first
+// use and share one bucket layout.
+type HistogramVec struct {
+	name, help string
+	bounds     []float64
+	vec        *vec[*histogramData]
+}
+
+// HistogramVec registers a labeled histogram family with the given strictly
+// increasing bucket upper bounds (copied; +Inf implicit).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	h := &HistogramVec{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), buckets...),
+		vec:    newVec[*histogramData](name, labels),
+	}
+	newHistogramData(h.bounds) // validate the layout once, eagerly
+	r.register(name, h)
+	return h
+}
+
+// Observe records one observation in the child with the given label values.
+// A nil HistogramVec is a no-op.
+func (h *HistogramVec) Observe(v float64, values ...string) {
+	if h == nil {
+		return
+	}
+	h.vec.get(h.name, values, func() *histogramData { return newHistogramData(h.bounds) }).data.observe(v)
+}
+
+func (h *HistogramVec) render(b *strings.Builder) {
+	header(b, h.name, h.help, "histogram")
+	for _, ch := range h.vec.snapshot() {
+		ch.data.render(b, h.name, h.vec.labels, ch.values)
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	g := r.Gauge("test_depth", "Depth.")
+	c.Add(3)
+	c.Inc()
+	g.Set(10)
+	g.Dec()
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n# TYPE test_ops_total counter\ntest_ops_total 4\n",
+		"# HELP test_depth Depth.\n# TYPE test_depth gauge\ntest_depth 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 4 || g.Value() != 9 {
+		t.Errorf("Value() = %d, %d", c.Value(), g.Value())
+	}
+	if err := ValidateText([]byte(out)); err != nil {
+		t.Errorf("render does not validate: %v", err)
+	}
+}
+
+func TestRenderSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_b_total", "b")
+	r.Counter("test_a_total", "a")
+	r.Gauge("test_c", "c")
+	out := render(t, r)
+	a := strings.Index(out, "test_a_total")
+	b := strings.Index(out, "test_b_total")
+	c := strings.Index(out, "test_c")
+	if !(a < b && b < c) {
+		t.Errorf("metrics not sorted by name:\n%s", out)
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.CounterFunc("test_hits_total", "Hits.", func() uint64 { return n })
+	r.GaugeFunc("test_live", "Live.", func() float64 { return 2.5 })
+	out := render(t, r)
+	if !strings.Contains(out, "test_hits_total 7\n") || !strings.Contains(out, "test_live 2.5\n") {
+		t.Errorf("func instruments wrong:\n%s", out)
+	}
+	n = 9
+	if !strings.Contains(render(t, r), "test_hits_total 9\n") {
+		t.Error("CounterFunc not read at render time")
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "Latency.", []float64{0.1, 1, 10})
+	// Exact binary fractions keep the rendered _sum a short exact decimal.
+	for _, v := range []float64{0.0625, 0.0625, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_sum 55.625`,
+		`test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d", h.Count())
+	}
+	if err := ValidateText([]byte(out)); err != nil {
+		t.Errorf("render does not validate: %v", err)
+	}
+}
+
+// An observation exactly on a bucket bound lands in that bucket (le is an
+// inclusive upper bound).
+func TestHistogramBoundInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "x", []float64{1, 2})
+	h.Observe(1)
+	if out := render(t, r); !strings.Contains(out, `test_seconds_bucket{le="1"} 1`) {
+		t.Errorf("bound not inclusive:\n%s", out)
+	}
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("test_requests_total", "Requests.", "endpoint", "code")
+	h := r.HistogramVec("test_latency_seconds", "Latency.", []float64{1}, "endpoint")
+	c.Inc("/v1/reconstruct", "2xx")
+	c.Add(2, "/v1/reconstruct", "4xx")
+	c.Inc("/healthz", "2xx")
+	h.Observe(0.5, "/v1/reconstruct")
+	h.Observe(3, "/healthz")
+	out := render(t, r)
+	for _, want := range []string{
+		`test_requests_total{endpoint="/healthz",code="2xx"} 1`,
+		`test_requests_total{endpoint="/v1/reconstruct",code="2xx"} 1`,
+		`test_requests_total{endpoint="/v1/reconstruct",code="4xx"} 2`,
+		`test_latency_seconds_bucket{endpoint="/v1/reconstruct",le="1"} 1`,
+		`test_latency_seconds_bucket{endpoint="/healthz",le="+Inf"} 1`,
+		`test_latency_seconds_sum{endpoint="/healthz"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := c.Value("/v1/reconstruct", "4xx"); got != 2 {
+		t.Errorf("Value = %d", got)
+	}
+	if got := c.Value("/v1/reconstruct", "5xx"); got != 0 {
+		t.Errorf("Value of absent child = %d", got)
+	}
+	if err := ValidateText([]byte(out)); err != nil {
+		t.Errorf("render does not validate: %v", err)
+	}
+}
+
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("test_total", "x", "path")
+	c.Inc(`a"b\c` + "\nd")
+	out := render(t, r)
+	want := `test_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("escaping wrong, want %q in:\n%s", want, out)
+	}
+	if err := ValidateText([]byte(out)); err != nil {
+		t.Errorf("render does not validate: %v", err)
+	}
+}
+
+// Nil instruments are no-ops so packages can instrument hot paths
+// unconditionally behind an optional metrics struct.
+func TestNilInstrumentsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var cv *CounterVec
+	var hv *HistogramVec
+	c.Inc()
+	c.Add(2)
+	g.Inc()
+	g.Dec()
+	g.Set(3)
+	h.Observe(1)
+	cv.Inc("x")
+	hv.Observe(1, "x")
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || cv.Value("x") != 0 {
+		t.Error("nil instrument reported a value")
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup", "x")
+	mustPanic("duplicate name", func() { r.Counter("test_dup", "x") })
+	mustPanic("invalid name", func() { r.Counter("0bad", "x") })
+	mustPanic("invalid label", func() { r.CounterVec("test_v", "x", "0bad") })
+	mustPanic("non-increasing buckets", func() { r.Histogram("test_h", "x", []float64{1, 1}) })
+	cv := r.CounterVec("test_cv", "x", "a", "b")
+	mustPanic("label arity", func() { cv.Inc("only-one") })
+}
+
+// Concurrent updates racing a render: run under -race in CI.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "x")
+	g := r.Gauge("test_depth", "x")
+	h := r.Histogram("test_seconds", "x", LatencyBuckets)
+	cv := r.CounterVec("test_by_code_total", "x", "code")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%7) * 0.001)
+				cv.Inc([]string{"2xx", "4xx", "5xx"}[i%3])
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Error(err)
+		}
+		if err := ValidateText([]byte(b.String())); err != nil {
+			t.Errorf("mid-update render invalid: %v", err)
+		}
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d after concurrent adds", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+	if got := cv.Value("2xx") + cv.Value("4xx") + cv.Value("5xx"); got != 8000 {
+		t.Errorf("vec total = %d", got)
+	}
+}

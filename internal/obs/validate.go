@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks that b is well-formed Prometheus text exposition
+// format (version 0.0.4): every non-comment line is a parseable sample
+// (name, optional {label="value",...} set, float value, optional timestamp),
+// every sample belongs to a metric family with a preceding # TYPE line whose
+// type it respects (histogram samples only via _bucket/_sum/_count, _bucket
+// lines carrying a parseable le label and ending in an +Inf bucket with
+// bucket counts that never decrease), # TYPE names are never repeated, and
+// # HELP never follows a sample of its own family. It is the pure-Go checker
+// the CI smoke test runs against a live /metrics endpoint; WritePrometheus
+// output always passes it.
+func ValidateText(b []byte) error {
+	types := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family -> has emitted samples
+	infSeen := map[string]bool{} // histogram family+labels -> +Inf bucket seen
+	lastBucket := map[string]struct {
+		le  float64
+		cum uint64
+	}{}
+	for i, line := range strings.Split(string(b), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // bare comments are legal and unconstrained
+			}
+			switch kind {
+			case "TYPE":
+				if _, dup := types[name]; dup {
+					return fmt.Errorf("line %d: duplicate # TYPE for %q", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: # TYPE for %q after its samples", lineNo, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, rest)
+				}
+				types[name] = rest
+			case "HELP":
+				if sampled[name] {
+					return fmt.Errorf("line %d: # HELP for %q after its samples", lineNo, name)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		family, suffix := familyOf(name, types)
+		typ, declared := types[family]
+		if !declared {
+			return fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		sampled[family] = true
+		if typ == "histogram" {
+			if err := checkHistogramSample(family, suffix, labels, value, infSeen, lastBucket); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+		} else if suffix != "" {
+			// A non-histogram/summary family never emits suffixed series;
+			// reaching here means the bare name itself was registered with a
+			// recognized suffix, which familyOf only strips for histogram and
+			// summary families, so this is unreachable — kept as a guard.
+			return fmt.Errorf("line %d: unexpected suffix %q on %s %q", lineNo, suffix, typ, family)
+		}
+	}
+	for key, seen := range infSeen {
+		if !seen {
+			return fmt.Errorf("histogram series %q has no +Inf bucket", key)
+		}
+	}
+	return nil
+}
+
+// parseComment splits "# KEYWORD name rest" comment lines; ok is false for
+// bare comments that carry no HELP/TYPE keyword.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	fields := strings.SplitN(strings.TrimPrefix(line, "#"), " ", 4)
+	// fields[0] is the empty string before the separating space ("# HELP x").
+	if len(fields) < 3 || fields[0] != "" || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", false
+	}
+	if len(fields) == 4 {
+		rest = fields[3]
+	}
+	return fields[1], fields[2], strings.TrimSpace(rest), true
+}
+
+// familyOf maps a sample name onto its metric family: for histogram (and
+// summary) families the _bucket/_sum/_count suffix is stripped, everything
+// else is its own family.
+func familyOf(name string, types map[string]string) (family, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base == name {
+			continue
+		}
+		if t := types[base]; t == "histogram" || t == "summary" {
+			return base, strings.TrimPrefix(s, "_")
+		}
+	}
+	return name, ""
+}
+
+// checkHistogramSample enforces the per-series histogram shape: _bucket
+// carries a parseable le, cumulative counts never decrease within one label
+// set, and every series eventually reaches +Inf.
+func checkHistogramSample(family, suffix string, labels map[string]string, value float64,
+	infSeen map[string]bool, lastBucket map[string]struct {
+		le  float64
+		cum uint64
+	}) error {
+	switch suffix {
+	case "sum", "count":
+		return nil
+	case "bucket":
+	default:
+		return fmt.Errorf("histogram %q sampled without _bucket/_sum/_count suffix", family)
+	}
+	le, ok := labels["le"]
+	if !ok {
+		return fmt.Errorf("histogram %q _bucket without le label", family)
+	}
+	bound, err := parseLe(le)
+	if err != nil {
+		return fmt.Errorf("histogram %q: %w", family, err)
+	}
+	// One cumulative series per family+non-le labels.
+	key := family + "{"
+	for _, k := range sortedLabelKeys(labels) {
+		if k != "le" {
+			key += k + "=" + labels[k] + ","
+		}
+	}
+	key += "}"
+	if _, tracked := infSeen[key]; !tracked {
+		infSeen[key] = false
+	}
+	if prev, ok := lastBucket[key]; ok {
+		if bound <= prev.le {
+			return fmt.Errorf("histogram series %q: le %q not increasing", key, le)
+		}
+		if uint64(value) < prev.cum {
+			return fmt.Errorf("histogram series %q: cumulative count decreased at le %q", key, le)
+		}
+	}
+	lastBucket[key] = struct {
+		le  float64
+		cum uint64
+	}{bound, uint64(value)}
+	if le == "+Inf" {
+		infSeen[key] = true
+	}
+	return nil
+}
+
+func sortedLabelKeys(labels map[string]string) []string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func parseLe(le string) (float64, error) {
+	if le == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		return 0, fmt.Errorf("unparseable le %q", le)
+	}
+	return v, nil
+}
+
+// parseSample parses one sample line: name{labels} value [timestamp].
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && isNameChar(rest[i], i) {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name in %q", line)
+	}
+	rest = rest[i:]
+	labels = map[string]string{}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			j := strings.IndexAny(rest, "=")
+			if j < 0 {
+				return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:j])
+			if !validLabelName(lname) {
+				return "", nil, 0, fmt.Errorf("invalid label name %q in %q", lname, line)
+			}
+			rest = rest[j+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return "", nil, 0, fmt.Errorf("unquoted label value in %q", line)
+			}
+			lval, remainder, err := unquoteLabelValue(rest[1:])
+			if err != nil {
+				return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, 0, fmt.Errorf("duplicate label %q in %q", lname, line)
+			}
+			labels[lname] = lval
+			rest = strings.TrimPrefix(remainder, ",")
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 {
+		return "", nil, 0, fmt.Errorf("want 'value [timestamp]' after name in %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q in %q", fields[0], line)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("unparseable timestamp %q in %q", fields[1], line)
+		}
+	}
+	return name, labels, value, nil
+}
+
+func isNameChar(c byte, i int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return i > 0
+	}
+	return false
+}
+
+// unquoteLabelValue consumes an escaped label value up to its closing quote,
+// returning the decoded value and the unconsumed remainder.
+func unquoteLabelValue(s string) (value, rest string, err error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// parseValue parses a sample value, accepting the spelled-out specials.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateTextAccepts(t *testing.T) {
+	good := []string{
+		"",
+		"# just a comment\n",
+		"# HELP m x\n# TYPE m counter\nm 1\n",
+		"# TYPE m gauge\nm -2.5\n",
+		"# TYPE m gauge\nm 1 1700000000000\n",
+		"# TYPE m untyped\nm +Inf\n",
+		"# TYPE m counter\nm{a=\"x\",b=\"y\"} 3\n",
+		"# TYPE m counter\nm{a=\"quo\\\"te\\\\slash\\nnl\"} 3\n",
+		"# TYPE m histogram\n" +
+			"m_bucket{le=\"0.1\"} 1\nm_bucket{le=\"+Inf\"} 2\nm_sum 3.5\nm_count 2\n",
+		"# TYPE m histogram\n" +
+			"m_bucket{a=\"x\",le=\"1\"} 1\nm_bucket{a=\"x\",le=\"+Inf\"} 1\n" +
+			"m_bucket{a=\"y\",le=\"1\"} 0\nm_bucket{a=\"y\",le=\"+Inf\"} 4\n" +
+			"m_sum{a=\"x\"} 1\nm_count{a=\"x\"} 1\nm_sum{a=\"y\"} 9\nm_count{a=\"y\"} 4\n",
+		// A counter whose own name ends in _count is not histogram-suffix
+		// stripped.
+		"# TYPE m_count counter\nm_count 2\n",
+	}
+	for _, in := range good {
+		if err := ValidateText([]byte(in)); err != nil {
+			t.Errorf("ValidateText(%q) = %v, want nil", in, err)
+		}
+	}
+}
+
+func TestValidateTextRejects(t *testing.T) {
+	bad := map[string]string{
+		"sample without TYPE":      "m 1\n",
+		"bad metric name":          "# TYPE 0m counter\n0m 1\n",
+		"unknown type":             "# TYPE m foo\nm 1\n",
+		"duplicate TYPE":           "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"TYPE after samples":       "# TYPE m counter\nm 1\n# TYPE m counter\n",
+		"HELP after samples":       "# TYPE m counter\nm 1\n# HELP m x\n",
+		"bad value":                "# TYPE m counter\nm one\n",
+		"bad timestamp":            "# TYPE m counter\nm 1 soon\n",
+		"unquoted label value":     "# TYPE m counter\nm{a=x} 1\n",
+		"unterminated label set":   "# TYPE m counter\nm{a=\"x\" 1\n",
+		"unterminated label value": "# TYPE m counter\nm{a=\"x} 1\n",
+		"bad escape":               "# TYPE m counter\nm{a=\"\\t\"} 1\n",
+		"duplicate label":          "# TYPE m counter\nm{a=\"x\",a=\"y\"} 1\n",
+		"bad label name":           "# TYPE m counter\nm{0a=\"x\"} 1\n",
+		"bucket without le":        "# TYPE m histogram\nm_bucket 1\n",
+		"bare histogram sample":    "# TYPE m histogram\nm 1\n",
+		"unparseable le":           "# TYPE m histogram\nm_bucket{le=\"wide\"} 1\n",
+		"le not increasing": "# TYPE m histogram\n" +
+			"m_bucket{le=\"2\"} 1\nm_bucket{le=\"1\"} 1\nm_bucket{le=\"+Inf\"} 1\n",
+		"cumulative count decreases": "# TYPE m histogram\n" +
+			"m_bucket{le=\"1\"} 5\nm_bucket{le=\"+Inf\"} 2\n",
+		"missing +Inf bucket": "# TYPE m histogram\nm_bucket{le=\"1\"} 1\nm_sum 1\nm_count 1\n",
+	}
+	for name, in := range bad {
+		if err := ValidateText([]byte(in)); err == nil {
+			t.Errorf("%s: ValidateText(%q) = nil, want error", name, in)
+		}
+	}
+}
+
+// The validator must accept whatever the renderer emits, including every
+// instrument kind at once — the property the CI smoke test relies on.
+func TestValidateTextAcceptsFullRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(2)
+	r.Gauge("b", "b").Set(-1)
+	r.GaugeFunc("c", "c", func() float64 { return 0.25 })
+	r.CounterFunc("d_total", "d", func() uint64 { return 3 })
+	h := r.Histogram("e_seconds", "e", LatencyBuckets)
+	h.Observe(0.003)
+	h.Observe(42)
+	cv := r.CounterVec("f_total", "f", "endpoint", "code")
+	cv.Inc("/x", "2xx")
+	hv := r.HistogramVec("g_seconds", "g", []float64{0.5}, "endpoint")
+	hv.Observe(1, "/x")
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateText([]byte(b.String())); err != nil {
+		t.Fatalf("full render invalid: %v\n%s", err, b.String())
+	}
+}

@@ -30,4 +30,10 @@
 //     completion order and fail fast — the first error cancels the context
 //     threaded through every in-flight scoring scan and is returned as a
 //     *BatchError carrying the lowest genuinely failing index.
+//   - Observability: Instrument attaches an optional Metrics set (queue
+//     depth, in-flight count, wait and run latency histograms) before the
+//     scheduler starts serving. Uninstrumented schedulers pay one nil check
+//     per request; instrumented ones a few atomic updates and two clock
+//     reads. Every slot path — Reconstruct, Batch members, Do — reports
+//     through the same instruments, mirroring the one-budget invariant.
 package sched

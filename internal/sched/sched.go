@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // Config configures a Scheduler.
@@ -28,13 +30,35 @@ type Config struct {
 	Opts core.Options
 }
 
+// Metrics is the scheduler's optional instrumentation. Any field may be nil
+// (obs instruments are nil-safe); a nil *Metrics disables instrumentation
+// entirely, including the clock reads.
+type Metrics struct {
+	// QueueDepth gauges requests currently waiting for a worker slot.
+	QueueDepth *obs.Gauge
+	// InFlight gauges requests currently holding a worker slot.
+	InFlight *obs.Gauge
+	// WaitSeconds observes the time from a request's arrival to its slot
+	// acquisition — the queueing delay a larger -workers would shrink.
+	WaitSeconds *obs.Histogram
+	// RunSeconds observes the time a request holds its slot — the work
+	// itself, the signal for capacity planning.
+	RunSeconds *obs.Histogram
+}
+
 // Scheduler runs reconstructions against one bounded worker budget with
 // pooled per-request sessions. It is safe for concurrent use.
 type Scheduler struct {
-	opts core.Options
-	sem  chan struct{}
-	pool sync.Pool
+	opts    core.Options
+	sem     chan struct{}
+	pool    sync.Pool
+	metrics *Metrics
 }
+
+// Instrument attaches the metrics set every slot path (Reconstruct, Batch,
+// Do) reports through. Call it after New and before the scheduler starts
+// serving; it is not synchronized against in-flight requests.
+func (s *Scheduler) Instrument(m *Metrics) { s.metrics = m }
 
 // New validates the configuration and returns a ready scheduler.
 func New(cfg Config) (*Scheduler, error) {
@@ -69,16 +93,41 @@ func (s *Scheduler) Workers() int { return cap(s.sem) }
 // Options returns the default per-request reconstruction options.
 func (s *Scheduler) Options() core.Options { return s.opts }
 
-func (s *Scheduler) acquire(ctx context.Context) error {
+// acquire waits for a worker slot (or ctx). The returned timestamp is when
+// the slot was taken — release uses it to observe the run latency — and is
+// zero when uninstrumented, keeping the clock off the hot path.
+func (s *Scheduler) acquire(ctx context.Context) (time.Time, error) {
+	m := s.metrics
+	if m == nil {
+		select {
+		case s.sem <- struct{}{}:
+			return time.Time{}, nil
+		case <-ctx.Done():
+			return time.Time{}, ctx.Err()
+		}
+	}
+	m.QueueDepth.Inc()
+	arrived := time.Now()
 	select {
 	case s.sem <- struct{}{}:
-		return nil
+		taken := time.Now()
+		m.QueueDepth.Dec()
+		m.WaitSeconds.Observe(taken.Sub(arrived).Seconds())
+		m.InFlight.Inc()
+		return taken, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		m.QueueDepth.Dec()
+		return time.Time{}, ctx.Err()
 	}
 }
 
-func (s *Scheduler) release() { <-s.sem }
+func (s *Scheduler) release(taken time.Time) {
+	<-s.sem
+	if m := s.metrics; m != nil {
+		m.InFlight.Dec()
+		m.RunSeconds.Observe(time.Since(taken).Seconds())
+	}
+}
 
 // Do runs fn inside one slot of the shared worker budget: it waits for a
 // slot (or ctx), runs fn, and releases the slot. It exists for work that is
@@ -87,10 +136,11 @@ func (s *Scheduler) release() { <-s.sem }
 // requests cannot together oversubscribe the host: everything CPU-bound the
 // server does drains from cap(sem) slots.
 func (s *Scheduler) Do(ctx context.Context, fn func() error) error {
-	if err := s.acquire(ctx); err != nil {
+	taken, err := s.acquire(ctx)
+	if err != nil {
 		return err
 	}
-	defer s.release()
+	defer s.release(taken)
 	return fn()
 }
 
@@ -134,10 +184,11 @@ func (s *Scheduler) prepare(sess *core.Session, opts *core.Options) error {
 // anything it keeps (formatting into a response inside consume is the
 // intended shape).
 func (s *Scheduler) Reconstruct(ctx context.Context, req Request, consume func(*core.Result) error) error {
-	if err := s.acquire(ctx); err != nil {
+	taken, err := s.acquire(ctx)
+	if err != nil {
 		return err
 	}
-	defer s.release()
+	defer s.release(taken)
 	sess := s.pool.Get().(*core.Session)
 	defer s.pool.Put(sess)
 	if err := s.prepare(sess, req.Opts); err != nil {
@@ -220,7 +271,8 @@ func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (Reques
 				if i >= n || bctx.Err() != nil {
 					break
 				}
-				if err := s.acquire(bctx); err != nil {
+				taken, err := s.acquire(bctx)
+				if err != nil {
 					break
 				}
 				if sess == nil {
@@ -236,7 +288,7 @@ func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (Reques
 						err = consume(i, res)
 					}
 				}
-				s.release()
+				s.release(taken)
 				if err != nil {
 					fail(i, err)
 					break

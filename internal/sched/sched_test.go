@@ -9,10 +9,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bitstr"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 )
 
 // testDist builds a deterministic clustered histogram over n bits.
@@ -417,4 +419,108 @@ func TestDo(t *testing.T) {
 		t.Errorf("Do under full budget with canceled ctx: %v", err)
 	}
 	close(release)
+}
+
+// TestMetrics pins the instrumentation contract: every slot path reports
+// through the one Metrics set, gauges return to zero when the scheduler
+// drains, and wait/run latencies are observed once per served request.
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		QueueDepth:  reg.Gauge("queue", "x"),
+		InFlight:    reg.Gauge("inflight", "x"),
+		WaitSeconds: reg.Histogram("wait_seconds", "x", obs.LatencyBuckets),
+		RunSeconds:  reg.Histogram("run_seconds", "x", obs.LatencyBuckets),
+	}
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(m)
+
+	in := testDist(10, 7)
+	served := 0
+	if err := s.Reconstruct(context.Background(), Request{In: in}, func(*core.Result) error { served++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Do(context.Background(), func() error { served++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Batch(context.Background(), 3,
+		func(i int) (Request, error) { return Request{In: in}, nil },
+		func(i int, r *core.Result) error { served++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if served != 5 {
+		t.Fatalf("served %d", served)
+	}
+	if got := m.WaitSeconds.Count(); got != 5 {
+		t.Errorf("wait observations = %d, want 5", got)
+	}
+	if got := m.RunSeconds.Count(); got != 5 {
+		t.Errorf("run observations = %d, want 5", got)
+	}
+	if m.QueueDepth.Value() != 0 || m.InFlight.Value() != 0 {
+		t.Errorf("drained scheduler: queue=%d inflight=%d, want 0, 0",
+			m.QueueDepth.Value(), m.InFlight.Value())
+	}
+
+	// While a request holds the only slot, in-flight reads 1 and a second
+	// request waits in the queue; a canceled waiter restores the queue gauge.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	go func() {
+		_ = s.Do(context.Background(), func() error {
+			close(held)
+			<-release
+			return nil
+		})
+	}()
+	<-held
+	if m.InFlight.Value() != 1 {
+		t.Errorf("inflight = %d while slot held", m.InFlight.Value())
+	}
+	waiting := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		close(waiting)
+		if err := s.Do(ctx, func() error { return nil }); !errors.Is(err, context.Canceled) {
+			t.Errorf("waiter error = %v", err)
+		}
+	}()
+	<-waiting
+	// The waiter increments the queue gauge before selecting on the
+	// semaphore; poll briefly for it to arrive rather than sleeping blind.
+	deadline := time.Now().Add(2 * time.Second)
+	for m.QueueDepth.Value() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.QueueDepth.Value() != 1 {
+		t.Errorf("queue depth = %d with one waiter", m.QueueDepth.Value())
+	}
+	cancel()
+	for m.QueueDepth.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.QueueDepth.Value() != 0 {
+		t.Errorf("queue depth = %d after waiter canceled", m.QueueDepth.Value())
+	}
+	close(release)
+	for m.InFlight.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.InFlight.Value() != 0 {
+		t.Errorf("inflight = %d after drain", m.InFlight.Value())
+	}
+}
+
+// An uninstrumented scheduler (nil Metrics) serves normally.
+func TestMetricsNil(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -15,6 +15,11 @@
 // idle server eventually releases session memory. CPU-bound snapshot work is
 // not the Manager's concern: the HTTP layer runs it inside the scheduler's
 // shared worker budget (sched.Scheduler.Do).
+//
+// Observability: Instrument optionally attaches counters for session
+// creations and TTL evictions (explicit deletes are neither); the
+// live-session count is read on demand via Len, which the HTTP layer
+// exposes as a render-time gauge.
 package serve
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -63,6 +69,17 @@ type Config struct {
 	Now func() time.Time
 }
 
+// Metrics is the manager's optional instrumentation. The live-session count
+// is deliberately not here: it is a point-in-time value the owner exposes as
+// a render-time gauge over Len.
+type Metrics struct {
+	// Created counts sessions successfully created.
+	Created *obs.Counter
+	// Evicted counts sessions removed by TTL idle eviction (explicit
+	// deletes are not evictions).
+	Evicted *obs.Counter
+}
+
 // Session is one named streaming session: a stream.Stream behind its own
 // mutex, plus the idle bookkeeping eviction needs. Access the stream only
 // through Manager.Do.
@@ -87,9 +104,10 @@ func (s *Session) ID() string { return s.id }
 
 // Manager owns the live sessions. Safe for concurrent use.
 type Manager struct {
-	max int
-	ttl time.Duration
-	now func() time.Time
+	max     int
+	ttl     time.Duration
+	now     func() time.Time
+	metrics *Metrics
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -113,6 +131,12 @@ func NewManager(cfg Config) *Manager {
 		sessions: make(map[string]*Session),
 	}
 }
+
+// Instrument attaches the optional lifecycle counters (nil fields are safe;
+// a nil *Metrics disables instrumentation). Call it after NewManager and
+// before the manager starts serving; it is not synchronized against
+// concurrent operations.
+func (m *Manager) Instrument(metrics *Metrics) { m.metrics = metrics }
 
 // MaxSessions returns the live-session cap.
 func (m *Manager) MaxSessions() int { return m.max }
@@ -178,6 +202,9 @@ func (m *Manager) Create(id string, width int, opts core.Options) (*Session, err
 	}
 	s := &Session{id: id, st: st, lastUsed: m.now()}
 	m.sessions[id] = s
+	if m.metrics != nil {
+		m.metrics.Created.Inc()
+	}
 	return s, nil
 }
 
@@ -258,6 +285,9 @@ func (m *Manager) sweepLocked() int {
 			delete(m.sessions, id)
 			evicted++
 		}
+	}
+	if evicted > 0 && m.metrics != nil {
+		m.metrics.Evicted.Add(uint64(evicted))
 	}
 	return evicted
 }

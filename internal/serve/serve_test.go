@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bitstr"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stream"
 )
 
@@ -264,5 +265,48 @@ func TestManagerBusySessionNotEvicted(t *testing.T) {
 	clk.advance(time.Minute)
 	if n := m.Sweep(); n != 1 {
 		t.Fatalf("idle session not evicted after completion + TTL (swept %d)", n)
+	}
+}
+
+// TestManagerMetrics pins the lifecycle counters: creations count successful
+// Creates only, evictions count TTL sweeps only (explicit deletes are not
+// evictions).
+func TestManagerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	metrics := &Metrics{
+		Created: reg.Counter("created_total", "x"),
+		Evicted: reg.Counter("evicted_total", "x"),
+	}
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	m := NewManager(Config{TTL: time.Minute, Now: clk.now})
+	m.Instrument(metrics)
+	opts := core.Options{Workers: 1}
+	if _, err := m.Create("a", 4, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("b", 4, opts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create("a", 4, opts); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := m.Create("bad width", 4, opts); err == nil {
+		t.Fatal("invalid id accepted")
+	}
+	if got := metrics.Created.Value(); got != 2 {
+		t.Errorf("created = %d, want 2 (failed creates must not count)", got)
+	}
+	if err := m.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Evicted.Value(); got != 0 {
+		t.Errorf("evicted = %d after explicit delete, want 0", got)
+	}
+	clk.advance(2 * time.Minute)
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("swept %d", n)
+	}
+	if got := metrics.Evicted.Value(); got != 1 {
+		t.Errorf("evicted = %d, want 1", got)
 	}
 }
