@@ -157,7 +157,7 @@ func syntheticDist(n, uniqueOutcomes int, seed int64) *dist.Dist {
 // the bucketed engine is >= 2x over exact on this shape.
 func BenchmarkReconstruct(b *testing.B) {
 	d := syntheticDist(20, 2000, 42)
-	for _, engine := range []string{core.EngineExact, core.EngineBucketed} {
+	for _, engine := range []string{core.EngineExact, core.EngineBucketed, core.EngineBlocked} {
 		for _, radius := range []int{0, 4} {
 			label := fmt.Sprintf("%d", radius)
 			if radius == 0 {
@@ -256,7 +256,7 @@ const streamBenchBatch = 64
 // matrix, and output distribution every call). Run with -benchmem.
 func BenchmarkSessionReuse(b *testing.B) {
 	d := syntheticDist(20, 2000, 42)
-	for _, engine := range []string{core.EngineExact, core.EngineBucketed} {
+	for _, engine := range []string{core.EngineExact, core.EngineBucketed, core.EngineBlocked} {
 		opts := core.Options{Engine: engine, Workers: 1}
 		b.Run("session/engine="+engine, func(b *testing.B) {
 			sess, err := core.NewSession(opts)

@@ -1,0 +1,183 @@
+// Command corebench measures the single-node scoring hot path — ns per
+// unordered outcome pair for each batch engine (exact, bucketed, blocked) —
+// and writes the comparison as JSON so the perf trajectory across PRs is
+// machine-readable (BENCH_core.json at the repository root holds the last
+// committed run).
+//
+// Every engine runs single-threaded (Workers=1): the dev and CI hosts are
+// 1-CPU, so the committed numbers — and the CI speedup gate riding on them —
+// pin the per-pair cost of the hot loop itself rather than scheduler luck.
+// The gate config is the blocked engine's acceptance workload: 20-bit /
+// 4000-support at the paper's default radius, where blocked must hold its
+// committed speedup floor over bucketed.
+//
+//	corebench -out BENCH_core.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/bitstr"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// engineRun is one engine's measurement on one workload config.
+type engineRun struct {
+	NsPerOp   int64   `json:"ns_per_op"`
+	NsPerPair float64 `json:"ns_per_pair"`
+}
+
+// config is one (support, radius) workload row. Pairs is the unordered
+// distinct-pair count N·(N−1)/2 — the work the O(N²) pass is quadratic in —
+// and the per-engine ns_per_pair figures divide wall time by it.
+type config struct {
+	Support       int                  `json:"support"`
+	Radius        int                  `json:"radius"`
+	DefaultRadius bool                 `json:"default_radius"`
+	Pairs         int64                `json:"pairs"`
+	Engines       map[string]engineRun `json:"engines"`
+	// Speedups of the blocked engine over the other two on this row.
+	BlockedVsBucketed float64 `json:"speedup_blocked_vs_bucketed"`
+	BlockedVsExact    float64 `json:"speedup_blocked_vs_exact"`
+}
+
+// gate is the row CI enforces: blocked over bucketed at the acceptance
+// workload must meet the committed floor.
+type gate struct {
+	Support    int     `json:"support"`
+	Radius     int     `json:"radius"`
+	MinSpeedup float64 `json:"min_speedup_blocked_vs_bucketed"`
+	Speedup    float64 `json:"speedup_blocked_vs_bucketed"`
+}
+
+// report is the BENCH_core.json schema.
+type report struct {
+	Benchmark string   `json:"benchmark"`
+	Bits      int      `json:"bits"`
+	Workers   int      `json:"workers"`
+	Note      string   `json:"note"`
+	Configs   []config `json:"configs"`
+	Gate      gate     `json:"gate"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file ('-' for stdout)")
+	bits := flag.Int("bits", 20, "outcome width")
+	floor := flag.Float64("floor", 2.0, "committed blocked-vs-bucketed speedup floor at the gate config")
+	flag.Parse()
+
+	engines := []string{core.EngineExact, core.EngineBucketed, core.EngineBlocked}
+	supports := []int{2000, 4000}
+	radii := []int{0, 2, 3, 4} // 0 selects the paper's default radius
+
+	rep := report{
+		Benchmark: "core-engine-ns-per-pair",
+		Bits:      *bits,
+		Workers:   1,
+		Note: "single-threaded ns per unordered outcome pair; the dev and CI hosts are 1-CPU, " +
+			"so the committed gate pins the single-thread hot path, not parallel scaling",
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+		CPUs:   runtime.NumCPU(),
+	}
+	for _, support := range supports {
+		d := synthetic(*bits, support, 42)
+		pairs := int64(support) * int64(support-1) / 2
+		for _, radius := range radii {
+			cfg := config{
+				Support:       support,
+				Radius:        radius,
+				DefaultRadius: radius == 0,
+				Pairs:         pairs,
+				Engines:       make(map[string]engineRun, len(engines)),
+			}
+			if radius == 0 {
+				cfg.Radius = core.DefaultRadius(*bits)
+			}
+			for _, engine := range engines {
+				opts := core.Options{Engine: engine, Radius: radius, Workers: 1}
+				res := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						core.Reconstruct(d, opts)
+					}
+				})
+				ns := res.NsPerOp()
+				cfg.Engines[engine] = engineRun{
+					NsPerOp:   ns,
+					NsPerPair: float64(ns) / float64(pairs),
+				}
+				fmt.Fprintf(os.Stderr, "support=%d radius=%d engine=%s: %d ns/op (%.3f ns/pair)\n",
+					support, cfg.Radius, engine, ns, float64(ns)/float64(pairs))
+			}
+			cfg.BlockedVsBucketed = speedup(cfg.Engines, core.EngineBucketed)
+			cfg.BlockedVsExact = speedup(cfg.Engines, core.EngineExact)
+			rep.Configs = append(rep.Configs, cfg)
+
+			if support == 4000 && radius == 0 {
+				rep.Gate = gate{
+					Support:    support,
+					Radius:     cfg.Radius,
+					MinSpeedup: *floor,
+					Speedup:    cfg.BlockedVsBucketed,
+				}
+			}
+		}
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gate: blocked %.2fx over bucketed at %d-bit/%d-support radius %d (floor %.2fx), %d CPUs\n",
+		rep.Gate.Speedup, rep.Bits, rep.Gate.Support, rep.Gate.Radius, rep.Gate.MinSpeedup, rep.CPUs)
+	if rep.Gate.Speedup < rep.Gate.MinSpeedup {
+		fatal(fmt.Errorf("speedup %.2fx below committed floor %.2fx", rep.Gate.Speedup, rep.Gate.MinSpeedup))
+	}
+}
+
+// speedup reports how much faster blocked ran than the named baseline.
+func speedup(runs map[string]engineRun, baseline string) float64 {
+	return float64(runs[baseline].NsPerOp) / float64(runs[core.EngineBlocked].NsPerOp)
+}
+
+// synthetic builds the §6.6 workload shape — a Hamming-clustered core plus a
+// uniform tail — with exactly uniqueOutcomes entries over an n-bit space,
+// matching the root benchmark harness's syntheticDist.
+func synthetic(n, uniqueOutcomes int, seed int64) *dist.Dist {
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.New(n)
+	key := bitstr.Bits(rng.Int63()) & bitstr.AllOnes(n)
+	d.Set(key, 0.05)
+	for i := 0; i < n && d.Len() < uniqueOutcomes; i++ {
+		d.Set(bitstr.Flip(key, i), 0.01+0.01*rng.Float64())
+	}
+	for d.Len() < uniqueOutcomes {
+		d.Set(bitstr.Bits(rng.Int63())&bitstr.AllOnes(n), 1e-4*(1+rng.Float64()))
+	}
+	return d.Normalize()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corebench:", err)
+	os.Exit(1)
+}

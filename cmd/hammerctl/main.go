@@ -239,7 +239,7 @@ func configFlags(fs *flag.FlagSet) *hammer.Config {
 	fs.BoolVar(&cfg.DisableFilter, "no-filter", false, "disable the lower-probability-neighbor filter")
 	fs.IntVar(&cfg.Workers, "workers", 0, "parallel workers (0 = all CPUs)")
 	fs.IntVar(&cfg.TopM, "topm", 0, "score only the M most probable outcomes (0 = all)")
-	fs.StringVar(&cfg.Engine, "engine", "auto", "scoring engine: auto, exact, bucketed")
+	fs.StringVar(&cfg.Engine, "engine", "auto", "scoring engine: auto, exact, bucketed, blocked")
 	return cfg
 }
 

@@ -78,6 +78,23 @@ func TestRunOnceBadInput(t *testing.T) {
 	}
 }
 
+// TestRunOncePinnedEngines: every registered batch engine is reachable
+// through -engine and reconstructs the same histogram to the same output.
+func TestRunOncePinnedEngines(t *testing.T) {
+	hist := `{"111": 30, "110": 10, "001": 5}`
+	outputs := make(map[string]string)
+	for _, engine := range []string{"exact", "bucketed", "blocked"} {
+		var stdout bytes.Buffer
+		if err := runOnce([]string{"-engine", engine}, strings.NewReader(hist), &stdout, &bytes.Buffer{}); err != nil {
+			t.Fatalf("-engine %s: %v", engine, err)
+		}
+		outputs[engine] = stdout.String()
+	}
+	if outputs["exact"] != outputs["bucketed"] || outputs["exact"] != outputs["blocked"] {
+		t.Errorf("engines disagree through the CLI:\n%v", outputs)
+	}
+}
+
 func TestHelpIsNotAnError(t *testing.T) {
 	var stderr bytes.Buffer
 	if err := runOnce([]string{"-h"}, strings.NewReader(""), &bytes.Buffer{}, &stderr); err != nil {

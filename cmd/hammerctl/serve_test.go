@@ -263,6 +263,7 @@ func TestServeReconstructConfigOverride(t *testing.T) {
 	}{
 		{"base", ``, hammer.Config{Workers: 1}, "exact", 2},
 		{"engine+radius", `{"engine": "bucketed", "radius": 3}`, hammer.Config{Engine: "bucketed", Radius: 3, Workers: 1}, "bucketed", 3},
+		{"blocked engine", `{"engine": "blocked"}`, hammer.Config{Engine: "blocked", Workers: 1}, "blocked", 2},
 		{"radius only", `{"radius": 1}`, hammer.Config{Radius: 1, Workers: 1}, "exact", 1},
 		{"base again", ``, hammer.Config{Workers: 1}, "exact", 2},
 		{"topm+weights", `{"topm": 3, "weights": "exp-decay"}`, hammer.Config{TopM: 3, Weights: "exp-decay", Workers: 1}, "exact", 2},

@@ -16,10 +16,16 @@ func validCountsKey(k string) bool {
 	return strings.Trim(k, "01") == ""
 }
 
+// fuzzEngines is the one engine table the facade fuzzers pin: every batch
+// engine must accept what exact accepts and agree with it within 1e-12 on
+// whatever histogram the fuzzer conjures.
+var fuzzEngines = []string{"bucketed", "blocked"}
+
 // FuzzRunCounts drives the public facade with adversarial histograms:
 // arbitrary string keys, mixed widths, and non-positive counts must come
 // back as errors — never a panic — while valid histograms must reconstruct
-// to a unit-mass distribution over the same support.
+// to a unit-mass distribution over the same support, identically (to
+// 1e-12) across every scoring engine.
 func FuzzRunCounts(f *testing.F) {
 	f.Add("0101", 3, "1100", 1, "0011", 2)
 	f.Add("1", 1, "0", 2, "1", 3)        // duplicate key collapses in the map
@@ -69,6 +75,30 @@ func FuzzRunCounts(f *testing.F) {
 		}
 		if math.Abs(mass-1) > 1e-9 {
 			t.Fatalf("output mass %v", mass)
+		}
+		// Cross-engine net: every batch engine reconstructs the same valid
+		// histogram to the exact reference within 1e-12 per outcome.
+		h := make(map[string]float64, len(counts))
+		for k, v := range counts {
+			h[k] = float64(v)
+		}
+		ex, err := RunWithConfig(h, Config{Engine: "exact"})
+		if err != nil {
+			t.Fatalf("exact engine rejected valid histogram: %v", err)
+		}
+		for _, engine := range fuzzEngines {
+			got, err := RunWithConfig(h, Config{Engine: engine})
+			if err != nil {
+				t.Fatalf("%s engine rejected valid histogram: %v", engine, err)
+			}
+			if len(got) != len(ex) {
+				t.Fatalf("%s support %d, exact %d", engine, len(got), len(ex))
+			}
+			for k, p := range ex {
+				if diff := got[k] - p; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("%s diverges from exact on %q: %v vs %v", engine, k, got[k], p)
+				}
+			}
 		}
 	})
 }

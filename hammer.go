@@ -53,10 +53,12 @@ type Config struct {
 	// This bounds runtime at O(M²) on histograms with very long tails.
 	// Zero (the default) scores every outcome.
 	TopM int
-	// Engine selects the scoring engine: "auto" (default — pick by
-	// support size), "exact" (the reference O(N²) loop), or "bucketed"
-	// (the popcount-bucketed index engine). Both engines produce the same
-	// reconstruction up to float64 rounding.
+	// Engine selects the scoring engine: "auto" (default — the exact loop
+	// for small supports, the blocked engine otherwise), "exact" (the
+	// reference O(N²) loop), "bucketed" (the popcount-bucketed index
+	// engine), or "blocked" (the bit-packed, cache-blocked engine — the
+	// fastest at the paper's default radius). All engines produce the
+	// same reconstruction up to float64 rounding.
 	Engine string
 }
 

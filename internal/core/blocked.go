@@ -1,0 +1,349 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+
+	"repro/internal/bitstr"
+	"repro/internal/dist"
+)
+
+func init() {
+	Register(Registration{Name: EngineBlocked, Engine: blockedEngine{}})
+}
+
+// blockedEngine computes the same fused triangular pass as bucketedEngine —
+// identical pruning, identical pair enumeration, identical accumulation up to
+// float64 summation order — but drives it through the bit-packed
+// structure-of-arrays view (dist.Packed) instead of per-pair closure
+// callbacks over []IndexEntry. Three mechanical changes buy the speedup:
+//
+//   - Bit packing: candidate outcomes are one contiguous []uint64 (8 bytes
+//     per candidate versus a 40-byte IndexEntry), with probabilities and
+//     ranks in parallel arrays touched only for admitted pairs. A radius
+//     scan streams cache lines holding eight candidates each instead of
+//     1.6, and the triangular "ranks after mine" suffix of every weight
+//     bucket is one contiguous span found by binary search.
+//
+//   - Cache-blocked tiles: the inner loop processes candidates in 4-wide
+//     tiles, computing the four XOR+popcounts of a tile back to back so the
+//     compiler keeps the operands in registers and the popcounts pipeline,
+//     before the data-dependent accumulates run. No closure call per pair —
+//     the whole pass is one flat loop nest the compiler can see through.
+//
+//   - Stride-local accumulation: each outer outcome's admitted-neighborhood
+//     credits accumulate into a small stack-resident row (at most 65
+//     float64s) and spill into the per-rank A matrix once per outer row,
+//     keeping the hot accumulator in L1 regardless of support size.
+//
+// Worker parallelism, row ownership, the DisableFilter slab path, context
+// cancellation, and the weight/score epilogue are shared with the bucketed
+// engine unchanged; cross-engine goldens pin all three batch engines to the
+// exact reference within 1e-12.
+type blockedEngine struct{}
+
+func (blockedEngine) Name() string { return EngineBlocked }
+
+func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float64, []float64, []float64, error) {
+	N := len(p.Outs)
+	maxD := p.MaxD
+	stride := maxD + 1
+	workers := p.Workers
+	if workers > N {
+		workers = N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	done := ctx.Done()
+
+	if cap(s.entries) < N {
+		s.entries = make([]dist.Entry, N)
+	}
+	s.entries = s.entries[:N]
+	entries := s.entries
+	for i := range entries {
+		entries[i] = dist.Entry{X: p.Outs[i], P: p.Probs[i]}
+	}
+	ix := s.index(p.NumBits, entries)
+	pk := s.packed(ix)
+	ranked := ix.Ranked()
+
+	// A[r*stride+d] is the admitted neighborhood strength of the rank-r
+	// outcome at distance d — same ownership discipline as the bucketed
+	// engine: with the filter on, row r is written only by the worker that
+	// owns rank r; the ablation path uses one pooled slab per worker and
+	// reduces below.
+	shared := !p.DisableFilter || workers == 1
+	var acc []float64
+	var slabs [][]float64
+	if shared {
+		s.acc = growFloats(s.acc, N*stride)
+		acc = s.acc
+		zeroFloats(acc)
+	} else {
+		slabs = s.ablationSlabs(workers, N, stride)
+	}
+	chsPartial := s.chsRows(workers, stride)
+	if workers <= 1 {
+		blockedPass(done, ix, pk, maxD, p.DisableFilter, chsPartial[0], acc, 0, 1)
+	} else {
+		accShared := acc // captured read-only: keeps acc itself off the heap
+		parallelStride(N, workers, func(wk, start, wstride int) {
+			rows := accShared
+			if !shared {
+				rows = slabs[wk]
+			}
+			blockedPass(done, ix, pk, maxD, p.DisableFilter, chsPartial[wk], rows, start, wstride)
+		})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	s.chs = growFloats(s.chs, stride)
+	chs := s.chs
+	zeroFloats(chs)
+	for _, local := range chsPartial {
+		for d, v := range local {
+			chs[d] += v
+		}
+	}
+	if !shared {
+		acc = slabs[0]
+		for _, slab := range slabs[1:] {
+			for i, v := range slab {
+				acc[i] += v
+			}
+		}
+	}
+
+	s.w = growFloats(s.w, stride)
+	w := weightsInto(s.w, chs, maxD, p.Scheme)
+
+	s.scores = growFloats(s.scores, N)
+	scores := s.scores
+	for r := range ranked {
+		e := &ranked[r]
+		sc := e.P
+		row := acc[r*stride : r*stride+stride]
+		for d := 0; d <= maxD; d++ {
+			sc += w[d] * row[d]
+		}
+		scores[e.Ord] = sc * e.P
+	}
+	return chs, w, scores, nil
+}
+
+// blockedPass runs one worker's share of the flat fused pass — ranks start,
+// start+wstride, ... — accumulating its CHS row into local and admitted
+// neighborhood strengths into rows (the shared A matrix on the filtered
+// path, a private slab on the ablation path).
+//
+// The filtered hot loop is branchless and chain-split. Three observations
+// make that possible:
+//
+//   - Every candidate ranks after the outer outcome, so its probability is
+//     at most pe — and the candidates with probability EQUAL to pe (which
+//     the filter excludes from credit) form a contiguous prefix of each
+//     bucket suffix, because buckets are ordered by descending probability.
+//     Peeling that (almost always empty) tie prefix leaves a strict p < pe
+//     suffix, deleting the filter compare from the inner loop.
+//
+//   - With ties peeled, an admitted candidate's full effect is two
+//     per-distance reductions: a pair count (the outer side's CHS credit is
+//     pe × count) and a probability sum (the candidate side's CHS credit
+//     and, identically, the outer row's admitted strength). Counts are
+//     integer adds — 1-cycle dependency chains instead of 4-cycle float
+//     chains.
+//
+//   - Excluded distances (d > maxD) land in a sink slot at index stride via
+//     a conditional move instead of a data-dependent branch: at wide radii
+//     admission is a coin flip per pair and the mispredictions would cost
+//     more than the sink's wasted adds.
+//
+// Each of the 4 tile lanes owns a private (count, sum) bank so the
+// accumulation chains of consecutive candidates run in parallel; banks fold
+// into the CHS row and the A matrix once per outer outcome — the per-row
+// stride-local state never leaves L1.
+func blockedPass(done <-chan struct{}, ix *dist.Index, pk *dist.Packed, maxD int, disableFilter bool, local, rows []float64, start, wstride int) {
+	ranked := ix.Ranked()
+	N := len(ranked)
+	n := pk.NumBits()
+	stride := maxD + 1
+	words, probs := pk.Words(), pk.Probs()
+	// SWAR popcount masks. The hot loop deliberately avoids the
+	// bits.OnesCount64 intrinsic: under the default GOAMD64 baseline every
+	// call site carries a has-POPCNT probe with a function-call fallback,
+	// and the mere possibility of that call forces the compiler to spill
+	// and reload every live loop variable around each popcount. The
+	// branch-free SWAR reduction keeps the whole tile in registers.
+	const (
+		m1  = 0x5555555555555555
+		m2  = 0x3333333333333333
+		m4  = 0x0f0f0f0f0f0f0f0f
+		h01 = 0x0101010101010101
+	)
+	// clampTab folds the admission test into the distance itself: true
+	// distances stay put, excluded ones (d > maxD) map to the sink slot at
+	// index stride. A 65-entry table (popcounts never exceed 64) would do;
+	// 256 entries let the uint8 load prove every bank index in range, so
+	// the hot loop carries neither branches nor bounds checks.
+	sink := stride
+	var clampTab [256]uint8
+	for d := 0; d <= bitstr.MaxBits; d++ {
+		if d <= maxD {
+			clampTab[d] = uint8(d)
+		} else {
+			clampTab[d] = uint8(sink)
+		}
+	}
+	// Per-lane banks, stack-resident: slot d < stride accumulates admitted
+	// pairs at distance d, the sink slot absorbs excluded pairs.
+	var cnt0, cnt1, cnt2, cnt3 [256]int32
+	var sum0, sum1, sum2, sum3 [256]float64
+	var rowBuf [bitstr.MaxBits + 1]float64
+	rl := rowBuf[:stride]
+	for i := start; i < N; i += wstride {
+		if canceled(done) {
+			return
+		}
+		e := &ranked[i]
+		x, pe := e.X, e.P
+		// Self pair: d=0 contributes P(x) once per x.
+		local[0] += pe
+		if disableFilter {
+			blockedAblationRow(pk, x, pe, i, maxD, local, rl, rows)
+			dst := rows[i*stride : i*stride+stride]
+			for d, v := range rl {
+				dst[d] += v
+			}
+			continue
+		}
+		lo, hi := e.W-maxD, e.W+maxD
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n {
+			hi = n
+		}
+		for w := lo; w <= hi; w++ {
+			k0 := pk.SuffixAfter(w, i)
+			_, bhi := pk.Bucket(w)
+			// Tie prefix: candidates with p == pe take CHS credit but give
+			// and receive no neighborhood credit (the filter admits strictly
+			// lower probability only). Rare — distinct outcomes with equal
+			// mass — and contiguous by bucket order.
+			for k0 < bhi && probs[k0] == pe {
+				if d := bits.OnesCount64(x ^ words[k0]); d <= maxD {
+					local[d] += pe + pe
+				}
+				k0++
+			}
+			if k0 >= bhi {
+				continue
+			}
+			cw := words[k0:bhi]
+			cp := probs[k0:bhi]
+			// Branchless 4-wide tiles: the four XOR+SWAR-popcounts of a
+			// tile are independent register-resident ALU chains that
+			// pipeline across lanes, each lane's distance routes through
+			// clampTab to either its true slot or the sink, and the
+			// (count, sum) updates land in per-lane banks.
+			m := len(cw)
+			cp = cp[:m]
+			j := 0
+			for ; j+4 <= m; j += 4 {
+				v0 := x ^ cw[j]
+				v1 := x ^ cw[j+1]
+				v2 := x ^ cw[j+2]
+				v3 := x ^ cw[j+3]
+				v0 -= (v0 >> 1) & m1
+				v1 -= (v1 >> 1) & m1
+				v2 -= (v2 >> 1) & m1
+				v3 -= (v3 >> 1) & m1
+				v0 = (v0 & m2) + ((v0 >> 2) & m2)
+				v1 = (v1 & m2) + ((v1 >> 2) & m2)
+				v2 = (v2 & m2) + ((v2 >> 2) & m2)
+				v3 = (v3 & m2) + ((v3 >> 2) & m2)
+				v0 = (v0 + (v0 >> 4)) & m4
+				v1 = (v1 + (v1 >> 4)) & m4
+				v2 = (v2 + (v2 >> 4)) & m4
+				v3 = (v3 + (v3 >> 4)) & m4
+				d0 := clampTab[(v0*h01)>>56]
+				d1 := clampTab[(v1*h01)>>56]
+				d2 := clampTab[(v2*h01)>>56]
+				d3 := clampTab[(v3*h01)>>56]
+				cnt0[d0]++
+				sum0[d0] += cp[j]
+				cnt1[d1]++
+				sum1[d1] += cp[j+1]
+				cnt2[d2]++
+				sum2[d2] += cp[j+2]
+				cnt3[d3]++
+				sum3[d3] += cp[j+3]
+			}
+			for ; j < m; j++ {
+				v := x ^ cw[j]
+				v -= (v >> 1) & m1
+				v = (v & m2) + ((v >> 2) & m2)
+				v = (v + (v >> 4)) & m4
+				d := clampTab[(v*h01)>>56]
+				cnt0[d]++
+				sum0[d] += cp[j]
+			}
+		}
+		// Fold the banks: admitted pairs at distance d contributed
+		// count×pe + sum(p) to the CHS and sum(p) to this row's admitted
+		// strength (every non-tie candidate holds p < pe). Zero the banks
+		// on the way through; the sink slots are simply dropped.
+		dst := rows[i*stride : i*stride+stride]
+		for d := 0; d < stride; d++ {
+			c := cnt0[d] + cnt1[d] + cnt2[d] + cnt3[d]
+			if c != 0 {
+				ps := sum0[d] + sum1[d] + sum2[d] + sum3[d]
+				local[d] += float64(c)*pe + ps
+				dst[d] += ps
+			}
+			cnt0[d], cnt1[d], cnt2[d], cnt3[d] = 0, 0, 0, 0
+			sum0[d], sum1[d], sum2[d], sum3[d] = 0, 0, 0, 0
+		}
+		cnt0[sink], cnt1[sink], cnt2[sink], cnt3[sink] = 0, 0, 0, 0
+		sum0[sink], sum1[sink], sum2[sink], sum3[sink] = 0, 0, 0, 0
+	}
+}
+
+// blockedAblationRow scans one outer outcome's candidates with the filter
+// disabled (§4.4): both sides of every admitted pair get credit, so the scan
+// scatters into other ranks' rows (rl collects the outer side; the caller
+// spills it). The ablation exists for fidelity studies, not speed; it keeps
+// the flat packed scan but not the branchless tiling.
+func blockedAblationRow(pk *dist.Packed, x uint64, pe float64, rank, maxD int, local, rl []float64, rows []float64) {
+	n := pk.NumBits()
+	stride := maxD + 1
+	words, probs, ranks := pk.Words(), pk.Probs(), pk.Ranks()
+	for d := range rl {
+		rl[d] = 0
+	}
+	lo, hi := bits.OnesCount64(x)-maxD, bits.OnesCount64(x)+maxD
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	for w := lo; w <= hi; w++ {
+		k0 := pk.SuffixAfter(w, rank)
+		_, bhi := pk.Bucket(w)
+		for k := k0; k < bhi; k++ {
+			d := bits.OnesCount64(x ^ words[k])
+			if d > maxD {
+				continue
+			}
+			p := probs[k]
+			local[d] += pe + p
+			rl[d] += p
+			rows[int(ranks[k])*stride+d] += pe
+		}
+	}
+}

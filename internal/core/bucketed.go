@@ -34,8 +34,8 @@ func init() {
 // side i can receive filtered credit, so each worker writes only the A-rows
 // of the ranks it owns — no synchronization needed. The DisableFilter
 // ablation credits both sides, so that (rare) path keeps per-worker A slabs
-// and reduces them afterwards (and, unlike the default path, allocates them
-// fresh per call).
+// — pooled in the Scratch like every other buffer — and reduces them
+// afterwards.
 //
 // The index and the A matrix live in the Scratch, rebuilt in place per call,
 // so a warmed-up session pays no allocation for either.
@@ -79,7 +79,7 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 		acc = s.acc
 		zeroFloats(acc)
 	} else {
-		slabs = make([][]float64, workers)
+		slabs = s.ablationSlabs(workers, N, stride)
 	}
 	chsPartial := s.chsRows(workers, stride)
 	if workers <= 1 {
@@ -89,8 +89,7 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 		parallelStride(N, workers, func(wk, start, wstride int) {
 			rows := accShared
 			if !shared {
-				rows = make([]float64, N*stride)
-				slabs[wk] = rows
+				rows = slabs[wk]
 			}
 			bucketedPass(done, ix, maxD, p.DisableFilter, chsPartial[wk], rows, start, wstride)
 		})
@@ -110,9 +109,6 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 	if !shared {
 		acc = slabs[0]
 		for _, slab := range slabs[1:] {
-			if slab == nil {
-				continue
-			}
 			for i, v := range slab {
 				acc[i] += v
 			}

@@ -127,7 +127,8 @@ type Result struct {
 	Weights []float64
 	// Radius is the maximum admitted Hamming distance actually used.
 	Radius int
-	// Engine names the scoring engine that ran ("exact" or "bucketed").
+	// Engine names the scoring engine that ran ("exact", "bucketed", or
+	// "blocked").
 	Engine string
 }
 

@@ -20,11 +20,15 @@
 // self-register into (registry.go): "exact" is the reference O(N²) loop
 // matching Algorithm 1 line by line, "bucketed" computes the same quantities
 // through the popcount-bucketed index of the dist package in a single merged
-// triangular pass, and "incremental" is the streaming-only state of
-// incremental.go. Both batch engines produce identical reconstructions up to
-// float64 rounding; selection is automatic by support size unless
-// Options.Engine pins one. Unknown and streaming-only names flow back as
-// errors from one choke point (the registry) on every path.
+// triangular pass, "blocked" drives that same fused pass through the
+// bit-packed structure-of-arrays view (dist.Packed) with a flat, branchless,
+// cache-blocked inner loop — the fastest engine at the paper's default
+// radius and the auto-selection default for large supports — and
+// "incremental" is the streaming-only state of incremental.go. All batch
+// engines produce identical reconstructions up to float64 rounding (pinned
+// to 1e-12 by the cross-engine goldens); selection is automatic by support
+// size unless Options.Engine pins one. Unknown and streaming-only names flow
+// back as errors from one choke point (the registry) on every path.
 //
 // # Contract
 //

@@ -14,7 +14,7 @@ import (
 const (
 	// EngineAuto (or the empty string) selects the engine by support
 	// size: small problems run the reference loop, everything else the
-	// bucketed index.
+	// blocked bit-packed engine.
 	EngineAuto = "auto"
 	// EngineExact is the reference O(N²) double loop, a line-by-line
 	// transcription of Algorithm 1.
@@ -22,11 +22,16 @@ const (
 	// EngineBucketed computes the same quantities through the
 	// popcount-bucketed index in one merged triangular pass.
 	EngineBucketed = "bucketed"
+	// EngineBlocked runs the same fused triangular pass as EngineBucketed
+	// over the bit-packed structure-of-arrays view (dist.Packed) with a
+	// flat, closure-free, cache-blocked inner loop — the fastest batch
+	// engine on every support size the index engines target.
+	EngineBlocked = "blocked"
 )
 
 // autoEngineThreshold is the support size at which auto-selection switches
-// from the exact reference loop to the bucketed index engine. Below it the
-// index build overhead outweighs the pruned scan.
+// from the exact reference loop to the blocked bit-packed engine. Below it
+// the index and packing build overhead outweighs the pruned scan.
 const autoEngineThreshold = 64
 
 // Problem is one flattened reconstruction instance handed to an Engine:

@@ -31,35 +31,45 @@ func goldenDist(n int, seed int64) *dist.Dist {
 	return d.Normalize()
 }
 
+// indexEngines are the batch engines built on the popcount-bucketed index —
+// every cross-engine golden pins each of them against the exact reference
+// from one table, so a new engine inherits the whole net by joining the list.
+var indexEngines = []string{EngineBucketed, EngineBlocked}
+
 // TestEnginesAgree is the cross-engine golden test: the exact reference loop
-// and the bucketed index engine must produce the same reconstruction within
-// 1e-12 — and the byte-identical top-1 outcome — on randomized histograms
-// across every width from 4 to 20 bits, with and without parallelism.
+// and every index engine must produce the same reconstruction within 1e-12 —
+// and the byte-identical top-1 outcome — on randomized histograms across
+// every width from 4 to 22 bits, with and without parallelism.
 func TestEnginesAgree(t *testing.T) {
-	for n := 4; n <= 20; n++ {
+	for n := 4; n <= 22; n++ {
 		for _, workers := range []int{1, 4} {
 			seed := int64(n*100 + workers)
 			in := goldenDist(n, seed)
 			ex := Reconstruct(in, Options{Engine: EngineExact, Workers: workers})
-			bu := Reconstruct(in, Options{Engine: EngineBucketed, Workers: workers})
-			if ex.Engine != EngineExact || bu.Engine != EngineBucketed {
-				t.Fatalf("n=%d: engines reported %q/%q", n, ex.Engine, bu.Engine)
+			if ex.Engine != EngineExact {
+				t.Fatalf("n=%d: exact reported %q", n, ex.Engine)
 			}
-			if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
-				t.Fatalf("n=%d workers=%d: engine TVD %v", n, workers, d)
-			}
-			ex.Out.Range(func(x bitstr.Bits, p float64) {
-				if diff := p - bu.Out.Prob(x); diff > 1e-12 || diff < -1e-12 {
-					t.Fatalf("n=%d: outcome %b differs: %v vs %v", n, x, p, bu.Out.Prob(x))
+			for _, engine := range indexEngines {
+				got := Reconstruct(in, Options{Engine: engine, Workers: workers})
+				if got.Engine != engine {
+					t.Fatalf("n=%d: engine %q reported %q", n, engine, got.Engine)
 				}
-			})
-			for k := range ex.GlobalCHS {
-				if !almostEq(ex.GlobalCHS[k], bu.GlobalCHS[k], 1e-9) {
-					t.Fatalf("n=%d: CHS[%d] %v vs %v", n, k, ex.GlobalCHS[k], bu.GlobalCHS[k])
+				if d := dist.TVD(ex.Out, got.Out); d > 1e-12 {
+					t.Fatalf("n=%d workers=%d %s: engine TVD %v", n, workers, engine, d)
 				}
-			}
-			if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
-				t.Fatalf("n=%d workers=%d: top-1 differs: %b vs %b", n, workers, a, b)
+				ex.Out.Range(func(x bitstr.Bits, p float64) {
+					if diff := p - got.Out.Prob(x); diff > 1e-12 || diff < -1e-12 {
+						t.Fatalf("n=%d %s: outcome %b differs: %v vs %v", n, engine, x, p, got.Out.Prob(x))
+					}
+				})
+				for k := range ex.GlobalCHS {
+					if !almostEq(ex.GlobalCHS[k], got.GlobalCHS[k], 1e-9) {
+						t.Fatalf("n=%d %s: CHS[%d] %v vs %v", n, engine, k, ex.GlobalCHS[k], got.GlobalCHS[k])
+					}
+				}
+				if a, b := ex.Out.MostProbable(), got.Out.MostProbable(); a != b {
+					t.Fatalf("n=%d workers=%d %s: top-1 differs: %b vs %b", n, workers, engine, a, b)
+				}
 			}
 		}
 	}
@@ -82,16 +92,19 @@ func TestEnginesAgreeAcrossOptions(t *testing.T) {
 		{TopM: 40, DisableFilter: true, Workers: 4},
 	}
 	for i, opts := range cases {
-		exOpts, buOpts := opts, opts
+		exOpts := opts
 		exOpts.Engine = EngineExact
-		buOpts.Engine = EngineBucketed
 		ex := Reconstruct(in, exOpts)
-		bu := Reconstruct(in, buOpts)
-		if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
-			t.Fatalf("case %d (%+v): engine TVD %v", i, opts, d)
-		}
-		if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
-			t.Fatalf("case %d (%+v): top-1 differs: %b vs %b", i, opts, a, b)
+		for _, engine := range indexEngines {
+			ixOpts := opts
+			ixOpts.Engine = engine
+			got := Reconstruct(in, ixOpts)
+			if d := dist.TVD(ex.Out, got.Out); d > 1e-12 {
+				t.Fatalf("case %d (%+v) %s: engine TVD %v", i, opts, engine, d)
+			}
+			if a, b := ex.Out.MostProbable(), got.Out.MostProbable(); a != b {
+				t.Fatalf("case %d (%+v) %s: top-1 differs: %b vs %b", i, opts, engine, a, b)
+			}
 		}
 	}
 }
@@ -109,12 +122,14 @@ func TestEnginesAgreeWideTopM(t *testing.T) {
 			t.Fatalf("test premise broken: support %d <= TopM %d", in.Len(), topM)
 		}
 		ex := Reconstruct(in, Options{Engine: EngineExact, TopM: topM})
-		bu := Reconstruct(in, Options{Engine: EngineBucketed, TopM: topM, Workers: 4})
-		if d := dist.TVD(ex.Out, bu.Out); d > 1e-12 {
-			t.Fatalf("n=%d: engine TVD %v under TopM", n, d)
-		}
-		if a, b := ex.Out.MostProbable(), bu.Out.MostProbable(); a != b {
-			t.Fatalf("n=%d: top-1 differs: %b vs %b", n, a, b)
+		for _, engine := range indexEngines {
+			got := Reconstruct(in, Options{Engine: engine, TopM: topM, Workers: 4})
+			if d := dist.TVD(ex.Out, got.Out); d > 1e-12 {
+				t.Fatalf("n=%d %s: engine TVD %v under TopM", n, engine, d)
+			}
+			if a, b := ex.Out.MostProbable(), got.Out.MostProbable(); a != b {
+				t.Fatalf("n=%d %s: top-1 differs: %b vs %b", n, engine, a, b)
+			}
 		}
 		// Tail pin: an outcome outside the top-M scores as isolated, so its
 		// reconstructed mass is Pr(x)²/Z — the ratio of two tail outcomes'
@@ -143,7 +158,7 @@ func TestEnginesAgreeWideTopM(t *testing.T) {
 }
 
 // TestEngineAutoSelection pins the auto rule: small supports take the exact
-// reference loop, large supports the bucketed index.
+// reference loop, large supports the blocked bit-packed engine.
 func TestEngineAutoSelection(t *testing.T) {
 	small := goldenDist(4, 3) // support <= 16 < threshold
 	if small.Len() >= autoEngineThreshold {
@@ -158,15 +173,17 @@ func TestEngineAutoSelection(t *testing.T) {
 	if large.Len() < autoEngineThreshold {
 		t.Fatalf("test premise broken: large support %d", large.Len())
 	}
-	if res := Reconstruct(large, Options{}); res.Engine != EngineBucketed {
+	if res := Reconstruct(large, Options{}); res.Engine != EngineBlocked {
 		t.Fatalf("auto on N=%d picked %q", large.Len(), res.Engine)
 	}
 	// Pinning works in both directions regardless of size.
 	if res := Reconstruct(large, Options{Engine: EngineExact}); res.Engine != EngineExact {
 		t.Fatalf("pinned exact ran %q", res.Engine)
 	}
-	if res := Reconstruct(small, Options{Engine: EngineBucketed}); res.Engine != EngineBucketed {
-		t.Fatalf("pinned bucketed ran %q", res.Engine)
+	for _, engine := range indexEngines {
+		if res := Reconstruct(small, Options{Engine: engine}); res.Engine != engine {
+			t.Fatalf("pinned %s ran %q", engine, res.Engine)
+		}
 	}
 }
 
@@ -175,13 +192,14 @@ func TestEngineNames(t *testing.T) {
 	// streaming-only incremental registration must not appear: it is not a
 	// valid batch selection.
 	names := EngineNames()
-	if len(names) != 3 || names[0] != EngineAuto || names[1] != EngineBucketed || names[2] != EngineExact {
+	if len(names) != 4 || names[0] != EngineAuto || names[1] != EngineBlocked ||
+		names[2] != EngineBucketed || names[3] != EngineExact {
 		t.Fatalf("EngineNames = %v", names)
 	}
 }
 
 func TestRegistry(t *testing.T) {
-	for _, name := range []string{EngineExact, EngineBucketed} {
+	for _, name := range []string{EngineExact, EngineBucketed, EngineBlocked} {
 		r, ok := Lookup(name)
 		if !ok || r.Engine == nil || r.Streaming {
 			t.Errorf("Lookup(%q) = %+v, %v", name, r, ok)
@@ -198,13 +216,15 @@ func TestRegistry(t *testing.T) {
 	if _, ok := Lookup(EngineAuto); ok {
 		t.Error("auto is registered")
 	}
-	for _, name := range []string{"", EngineAuto, EngineExact, EngineBucketed} {
+	for _, name := range []string{"", EngineAuto, EngineExact, EngineBucketed, EngineBlocked} {
 		if err := ValidateEngine(name); err != nil {
 			t.Errorf("ValidateEngine(%q) = %v", name, err)
 		}
 	}
 	if err := ValidateEngine("fpga"); err == nil {
 		t.Error("unknown engine validated")
+	} else if !strings.Contains(err.Error(), EngineBlocked) {
+		t.Errorf("unknown-engine error does not list blocked: %v", err)
 	}
 	// Streaming-only engines are invalid batch selections, with a
 	// distinguishable message.
@@ -242,15 +262,17 @@ func TestUnknownEnginePanics(t *testing.T) {
 	Reconstruct(fig4Example(), Options{Engine: "quantum-annealer"})
 }
 
-// TestBucketedWorkerCountInvariance: the bucketed engine's row-ownership
+// TestWorkerCountInvariance: the index engines' row-ownership
 // parallelization must give the same result for any worker count.
-func TestBucketedWorkerCountInvariance(t *testing.T) {
+func TestWorkerCountInvariance(t *testing.T) {
 	in := goldenDist(14, 77)
-	ref := Reconstruct(in, Options{Engine: EngineBucketed, Workers: 1})
-	for _, w := range []int{2, 3, 8, 32} {
-		got := Reconstruct(in, Options{Engine: EngineBucketed, Workers: w})
-		if d := dist.TVD(ref.Out, got.Out); d > 1e-12 {
-			t.Fatalf("workers=%d: TVD %v from single-threaded", w, d)
+	for _, engine := range indexEngines {
+		ref := Reconstruct(in, Options{Engine: engine, Workers: 1})
+		for _, w := range []int{2, 3, 8, 32} {
+			got := Reconstruct(in, Options{Engine: engine, Workers: w})
+			if d := dist.TVD(ref.Out, got.Out); d > 1e-12 {
+				t.Fatalf("%s workers=%d: TVD %v from single-threaded", engine, w, d)
+			}
 		}
 	}
 }

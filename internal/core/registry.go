@@ -111,7 +111,7 @@ func resolve(name string, n int) (Engine, error) {
 	}
 	auto := EngineExact
 	if n >= autoEngineThreshold {
-		auto = EngineBucketed
+		auto = EngineBlocked
 	}
 	r, ok := Lookup(auto)
 	if !ok || r.Engine == nil {

@@ -28,11 +28,20 @@ type Scratch struct {
 	partial    [][]float64
 	partialBuf []float64
 
-	// Bucketed engine state: the flattened index entries, the reusable
-	// popcount-bucketed index, and the per-rank admitted-strength matrix.
+	// Bucketed/blocked engine state: the flattened index entries, the
+	// reusable popcount-bucketed index, the blocked engine's packed
+	// structure-of-arrays view of it, and the per-rank admitted-strength
+	// matrix.
 	entries []dist.Entry
 	ix      *dist.Index
+	pk      *dist.Packed
 	acc     []float64
+
+	// DisableFilter ablation state: per-worker A slabs carved out of one
+	// reused backing buffer (the multi-worker ablation path writes scattered
+	// rows, so workers cannot share the A matrix).
+	slabs   [][]float64
+	slabBuf []float64
 }
 
 // growFloats returns buf resized to n, reallocating only when capacity is
@@ -75,6 +84,34 @@ func (s *Scratch) index(n int, entries []dist.Entry) *dist.Index {
 		s.ix = new(dist.Index)
 	}
 	return s.ix.Reset(n, entries)
+}
+
+// packed returns the scratch's reusable packed view, rebuilt in place from
+// the given index.
+func (s *Scratch) packed(ix *dist.Index) *dist.Packed {
+	if s.pk == nil {
+		s.pk = new(dist.Packed)
+	}
+	return s.pk.Reset(ix)
+}
+
+// ablationSlabs returns `workers` zeroed N×stride A slabs for the
+// DisableFilter multi-worker path, carved out of one reused backing buffer so
+// a warmed-up session pays no per-call slab allocation. (Slabs are not
+// cache-line padded: unlike the CHS rows, each slab is large and written
+// across its whole extent, so boundary false sharing is negligible.)
+func (s *Scratch) ablationSlabs(workers, n, stride int) [][]float64 {
+	size := n * stride
+	s.slabBuf = growFloats(s.slabBuf, workers*size)
+	zeroFloats(s.slabBuf)
+	if cap(s.slabs) < workers {
+		s.slabs = make([][]float64, workers)
+	}
+	s.slabs = s.slabs[:workers]
+	for w := 0; w < workers; w++ {
+		s.slabs[w] = s.slabBuf[w*size : (w+1)*size : (w+1)*size]
+	}
+	return s.slabs
 }
 
 // Session is reusable reconstruction state: one validated set of Options plus

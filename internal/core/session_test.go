@@ -26,6 +26,7 @@ func TestNewSessionValidation(t *testing.T) {
 		"auto":     {Engine: EngineAuto},
 		"exact":    {Engine: EngineExact},
 		"bucketed": {Engine: EngineBucketed},
+		"blocked":  {Engine: EngineBlocked},
 		"full":     {Radius: 3, Weights: ExpDecay, TopM: 10, Workers: 2, DisableFilter: true},
 	} {
 		if _, err := NewSession(opts); err != nil {
@@ -44,6 +45,10 @@ func TestSessionReuseMatchesOneShot(t *testing.T) {
 		{Engine: EngineExact},
 		{Engine: EngineBucketed},
 		{Engine: EngineBucketed, Workers: 4},
+		{Engine: EngineBlocked},
+		{Engine: EngineBlocked, Workers: 4},
+		{Engine: EngineBlocked, TopM: 40},
+		{Engine: EngineBlocked, DisableFilter: true, Workers: 3},
 		{Radius: 2, Weights: ExpDecay},
 		{TopM: 40},
 		{DisableFilter: true, Workers: 3},
@@ -103,7 +108,7 @@ func TestSessionEmptyInput(t *testing.T) {
 
 func TestSessionCancellation(t *testing.T) {
 	in := goldenDist(14, 5)
-	for _, engine := range []string{EngineExact, EngineBucketed} {
+	for _, engine := range []string{EngineExact, EngineBucketed, EngineBlocked} {
 		for _, workers := range []int{1, 4} {
 			sess, err := NewSession(Options{Engine: engine, Workers: workers})
 			if err != nil {
@@ -172,7 +177,7 @@ func TestSessionResultOwnership(t *testing.T) {
 // refactor: a warmed-up single-threaded session reconstructs without
 // allocating.
 func TestSessionAllocationFreeAfterWarmup(t *testing.T) {
-	for _, engine := range []string{EngineExact, EngineBucketed} {
+	for _, engine := range []string{EngineExact, EngineBucketed, EngineBlocked} {
 		sess, err := NewSession(Options{Engine: engine, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
@@ -192,6 +197,37 @@ func TestSessionAllocationFreeAfterWarmup(t *testing.T) {
 		if avg > 0.5 {
 			t.Errorf("%s: warmed-up session allocates %.1f allocs/op", engine, avg)
 		}
+	}
+}
+
+// TestAblationSlabsPooled pins the DisableFilter slab pooling: after the
+// first call sizes the backing buffer, repeated carves of same-or-smaller
+// shapes allocate nothing and return zeroed slabs.
+func TestAblationSlabsPooled(t *testing.T) {
+	var s Scratch
+	first := s.ablationSlabs(4, 50, 7)
+	if len(first) != 4 || len(first[0]) != 50*7 {
+		t.Fatalf("slab shape = %d x %d", len(first), len(first[0]))
+	}
+	first[3][50*7-1] = 42 // dirty a slab: the next carve must re-zero it
+	avg := testing.AllocsPerRun(20, func() {
+		slabs := s.ablationSlabs(4, 50, 7)
+		for w, slab := range slabs {
+			for i, v := range slab {
+				if v != 0 {
+					t.Fatalf("slab[%d][%d] = %v, want 0", w, i, v)
+				}
+			}
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warmed-up ablation slabs allocate %.1f allocs/op", avg)
+	}
+	// Writes through one slab must not alias another.
+	slabs := s.ablationSlabs(2, 10, 3)
+	slabs[0][29] = 1
+	if slabs[1][0] != 0 {
+		t.Error("adjacent slabs alias")
 	}
 }
 

@@ -24,6 +24,13 @@
 //   - LiveIndex — the mutable counterpart for streaming ingestion: no
 //     global rank order, so adding or incrementing an outcome is O(1) while
 //     the same triangle-inequality ball queries stay available.
+//   - Packed — the bit-packed structure-of-arrays view of an Index for the
+//     blocked engine's flat scans: one contiguous []uint64 of outcome words
+//     in bucket-major order (ascending weight, within-bucket ascending
+//     rank), with probabilities and ranks in parallel arrays and per-weight
+//     bucket offsets. Because within-bucket order is ascending rank, the
+//     triangular "ranks after r" suffix of any bucket is one contiguous
+//     span found by a single binary search (SuffixAfter).
 //
 // # Contract
 //
@@ -36,7 +43,8 @@
 //     probability, ascending outcome) order — so every experiment in the
 //     repository reproduces bit-for-bit from its seed. FromHistogram
 //     accumulates keys in sorted order for the same reason.
-//   - Reuse: Dist.Reset and Index.Reset rebuild in place without shedding
-//     capacity; the request-oriented core's 0 allocs/op after warm-up
-//     depends on these paths not allocating for same-shape problems.
+//   - Reuse: Dist.Reset, Index.Reset, and Packed.Reset rebuild in place
+//     without shedding capacity; the request-oriented core's 0 allocs/op
+//     after warm-up depends on these paths not allocating for same-shape
+//     problems.
 package dist

@@ -1,0 +1,120 @@
+package dist
+
+// Packed is the structure-of-arrays companion of Index, built for the flat
+// scans of the blocked reconstruction engine. Where Index stores []IndexEntry
+// (40-byte structs walked through closure callbacks), Packed lays the same
+// outcome set out as three parallel primitive arrays in bucket-major order —
+// ascending Hamming weight, and within each weight bucket ascending global
+// rank (descending probability, exactly the order Index.Bucket stores) — so a
+// radius-d candidate scan is a contiguous streamed read of 8-byte words the
+// compiler can batch popcounts over:
+//
+//	words: [ bucket 0 | bucket 1 | ... | bucket n ]   outcome words
+//	probs: [  parallel probabilities, same order    ]
+//	ranks: [  parallel global ranks, same order     ]
+//	start: start[w] .. start[w+1] delimit bucket w  (len n+2)
+//
+// Because ranks ascend within a bucket, the triangular "entries ranked after
+// r" suffix of any bucket is found by one binary search, and the suffix is
+// contiguous in all three arrays.
+//
+// Like Index, a Packed is rebuilt in place (Reset) without shedding capacity,
+// so a warmed-up reconstruction session repacks per call without allocating.
+// It is immutable between Resets; concurrent read-only access is safe and the
+// engines rely on that in their parallel scans.
+type Packed struct {
+	n     int
+	words []uint64
+	probs []float64
+	ranks []int32
+	start []int32
+}
+
+// NewPacked builds the packed view of an index. Prefer (*Packed).Reset for
+// repeated builds.
+func NewPacked(ix *Index) *Packed {
+	return new(Packed).Reset(ix)
+}
+
+// Reset rebuilds the packed view in place from an index, reusing the backing
+// arrays of previous builds. The receiver is returned for chaining. Entry
+// order is deterministic: the concatenation of the index's weight buckets in
+// ascending weight, each in the bucket's own (ascending rank) order.
+//
+// Ranks are stored as int32: a support large enough to overflow one could not
+// hold its 40-byte index entries in addressable memory in the first place.
+func (pk *Packed) Reset(ix *Index) *Packed {
+	n := ix.NumBits()
+	N := ix.Len()
+	pk.n = n
+	if cap(pk.words) < N {
+		pk.words = make([]uint64, N)
+		pk.probs = make([]float64, N)
+		pk.ranks = make([]int32, N)
+	}
+	pk.words = pk.words[:N]
+	pk.probs = pk.probs[:N]
+	pk.ranks = pk.ranks[:N]
+	if cap(pk.start) < n+2 {
+		pk.start = make([]int32, n+2)
+	}
+	pk.start = pk.start[:n+2]
+	pos := 0
+	for w := 0; w <= n; w++ {
+		pk.start[w] = int32(pos)
+		for i := range ix.buckets[w] {
+			e := &ix.buckets[w][i]
+			pk.words[pos] = e.X
+			pk.probs[pos] = e.P
+			pk.ranks[pos] = int32(e.Rank)
+			pos++
+		}
+	}
+	pk.start[n+1] = int32(pos)
+	return pk
+}
+
+// NumBits returns the outcome width in bits.
+func (pk *Packed) NumBits() int { return pk.n }
+
+// Len returns the number of packed outcomes.
+func (pk *Packed) Len() int { return len(pk.words) }
+
+// Words returns the packed outcome words in bucket-major order. The slice is
+// shared; callers must not mutate it.
+func (pk *Packed) Words() []uint64 { return pk.words }
+
+// Probs returns the probabilities parallel to Words. The slice is shared;
+// callers must not mutate it.
+func (pk *Packed) Probs() []float64 { return pk.probs }
+
+// Ranks returns the global ranks parallel to Words — ascending within each
+// bucket. The slice is shared; callers must not mutate it.
+func (pk *Packed) Ranks() []int32 { return pk.ranks }
+
+// Bucket returns the half-open [lo, hi) span of Hamming-weight bucket w in
+// the packed arrays; lo == hi for an empty or out-of-range bucket.
+func (pk *Packed) Bucket(w int) (lo, hi int) {
+	if w < 0 || w > pk.n {
+		return 0, 0
+	}
+	return int(pk.start[w]), int(pk.start[w+1])
+}
+
+// SuffixAfter returns the start of the suffix of bucket w holding entries of
+// global rank strictly greater than rank (the triangular candidate set), as
+// an index into the packed arrays; the suffix ends at the bucket's hi bound.
+// Ranks ascend within a bucket, so this is one binary search.
+func (pk *Packed) SuffixAfter(w, rank int) int {
+	lo, hi := pk.Bucket(w)
+	r := int32(rank)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pk.ranks[mid] > r {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
