@@ -28,10 +28,15 @@ import (
 	"repro/internal/dist"
 )
 
-// engineRun is one engine's measurement on one workload config.
+// engineRun is one engine's measurement on one workload config. Workers is
+// recorded per run — not only as a top-level note — so consumers comparing
+// ns/pair across reports (the CI speedup gate, the cost-model fit) can
+// verify they compare single-threaded numbers with single-threaded numbers
+// regardless of how many CPUs the producing host had.
 type engineRun struct {
 	NsPerOp   int64   `json:"ns_per_op"`
 	NsPerPair float64 `json:"ns_per_pair"`
+	Workers   int     `json:"workers"`
 }
 
 // config is one (support, radius) workload row. Pairs is the unordered
@@ -51,8 +56,14 @@ type config struct {
 // gate is the row CI enforces: blocked over bucketed at the acceptance
 // workload must meet the committed floor.
 type gate struct {
-	Support    int     `json:"support"`
-	Radius     int     `json:"radius"`
+	Support int `json:"support"`
+	Radius  int `json:"radius"`
+	// Workers is the worker pin of the gated runs. The CI gate reads it and
+	// refuses to compare speedups unless it is 1: a report produced with
+	// per-request fan-out would gate scheduler luck, not the hot loop, and
+	// single-CPU dev containers and multicore CI agents would disagree
+	// about what the numbers mean.
+	Workers    int     `json:"workers"`
 	MinSpeedup float64 `json:"min_speedup_blocked_vs_bucketed"`
 	Speedup    float64 `json:"speedup_blocked_vs_bucketed"`
 }
@@ -70,6 +81,11 @@ type report struct {
 	CPUs      int      `json:"cpus"`
 }
 
+// benchWorkers pins every measured run single-threaded; it is written into
+// the report at every level (top, per engine run, gate) so downstream
+// consumers can check the pin instead of assuming it.
+const benchWorkers = 1
+
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output file ('-' for stdout)")
 	bits := flag.Int("bits", 20, "outcome width")
@@ -83,7 +99,7 @@ func main() {
 	rep := report{
 		Benchmark: "core-engine-ns-per-pair",
 		Bits:      *bits,
-		Workers:   1,
+		Workers:   benchWorkers,
 		Note: "single-threaded ns per unordered outcome pair; the dev and CI hosts are 1-CPU, " +
 			"so the committed gate pins the single-thread hot path, not parallel scaling",
 		GOOS:   runtime.GOOS,
@@ -105,7 +121,7 @@ func main() {
 				cfg.Radius = core.DefaultRadius(*bits)
 			}
 			for _, engine := range engines {
-				opts := core.Options{Engine: engine, Radius: radius, Workers: 1}
+				opts := core.Options{Engine: engine, Radius: radius, Workers: benchWorkers}
 				res := testing.Benchmark(func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
 						core.Reconstruct(d, opts)
@@ -115,6 +131,7 @@ func main() {
 				cfg.Engines[engine] = engineRun{
 					NsPerOp:   ns,
 					NsPerPair: float64(ns) / float64(pairs),
+					Workers:   benchWorkers,
 				}
 				fmt.Fprintf(os.Stderr, "support=%d radius=%d engine=%s: %d ns/op (%.3f ns/pair)\n",
 					support, cfg.Radius, engine, ns, float64(ns)/float64(pairs))
@@ -127,6 +144,7 @@ func main() {
 				rep.Gate = gate{
 					Support:    support,
 					Radius:     cfg.Radius,
+					Workers:    benchWorkers,
 					MinSpeedup: *floor,
 					Speedup:    cfg.BlockedVsBucketed,
 				}

@@ -40,7 +40,7 @@ type serverMetrics struct {
 // and the cache instruments read through the provided callback/cache only at
 // scrape time; a nil cache reads as zeros — the "caching disabled"
 // rendering.
-func newServerMetrics(mgrLen func() int, c *cache.LRU[[]byte]) *serverMetrics {
+func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult]) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -53,6 +53,14 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[[]byte]) *serverMetrics {
 				"Time from a request's arrival to worker-slot acquisition.", obs.LatencyBuckets),
 			RunSeconds: reg.Histogram("hammer_sched_run_seconds",
 				"Time a request holds its worker slot.", obs.LatencyBuckets),
+			PredictedSeconds: reg.HistogramVec("hammer_cost_predicted_seconds",
+				"Cost-model predicted runtime of served requests, by engine.", obs.LatencyBuckets, "engine"),
+			ActualSeconds: reg.HistogramVec("hammer_cost_actual_seconds",
+				"Measured runtime of served requests, by engine.", obs.LatencyBuckets, "engine"),
+			ErrorRatio: reg.HistogramVec("hammer_cost_error_ratio",
+				"Actual/predicted runtime ratio per served request, by engine; a calibrated model concentrates mass near 1.", obs.RatioBuckets, "engine"),
+			DeadlineRejected: reg.CounterVec("hammer_deadline_rejected_total",
+				"Requests rejected by deadline admission, by reason (infeasible = predicted runtime exceeds the budget, overloaded = queue wait ate the budget).", "reason"),
 		},
 		serve: &serve.Metrics{
 			Created: reg.Counter("hammer_sessions_created_total",

@@ -45,6 +45,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	maxSessions := fs.Int("max-sessions", serve.DefaultMaxSessions, "cap on live streaming sessions")
 	sessionTTL := fs.Duration("session-ttl", serve.DefaultTTL, "idle streaming sessions are evicted after this long (0 = never evict)")
 	cacheEntries := fs.Int("cache-entries", cache.DefaultEntries, "LRU result-cache capacity for /v1/reconstruct (0 = disable caching)")
+	schedPolicy := fs.String("sched", sched.PolicyFIFO, "worker-slot queue policy: fifo (arrival order) or spjf (shortest predicted job first)")
+	calibrate := fs.Bool("calibrate", false, "re-fit the engine cost model on this host before serving (a few seconds of micro-benchmarks)")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -59,12 +61,23 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}
 	// In serve mode -workers is the request-level concurrency of the shared
 	// scheduler, exactly RunBatch's reading of Config.Workers.
-	srv, err := newServerWith(*cfg, cfg.Workers, serve.Config{
+	srv, err := newServerPolicy(*cfg, cfg.Workers, *schedPolicy, serve.Config{
 		MaxSessions: *maxSessions,
 		TTL:         ttl,
 	}, *cacheEntries)
 	if err != nil {
 		return err
+	}
+	if *calibrate {
+		// Replace the committed-benchmark constants with ones timed on this
+		// host, so engine selection, SPJF ordering, and deadline admission
+		// predict this machine rather than the CI runner that fitted the
+		// defaults.
+		model, err := core.Calibrate(context.Background())
+		if err != nil {
+			return fmt.Errorf("cost-model calibration: %w", err)
+		}
+		fmt.Fprintf(stdout, "hammerctl: cost model calibrated on this host (%d engines)\n", len(model.Engines))
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -95,8 +108,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 			}
 		}()
 	}
-	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %d session slots, %d cache entries)\n",
-		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.mgr.MaxSessions(), srv.cache.Capacity())
+	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %s scheduling, %d session slots, %d cache entries)\n",
+		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.sch.Policy(), srv.mgr.MaxSessions(), srv.cache.Capacity())
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
 }
@@ -117,15 +130,24 @@ type server struct {
 	mgr  *serve.Manager
 	base hammer.Config
 	// cache maps a canonical (histogram, options) key to the rendered
-	// response body, so a hit writes stored bytes verbatim — byte-identical
-	// to the miss that filled it, with no re-encoding on the hot path.
-	cache   *cache.LRU[[]byte]
+	// response body plus the engine that produced it, so a hit writes stored
+	// bytes verbatim — byte-identical to the miss that filled it, with no
+	// re-encoding on the hot path — and still reports X-Hammer-Engine.
+	cache   *cache.LRU[cachedResult]
 	metrics *serverMetrics
 }
 
-// newServer builds a server with default session-manager limits and cache
-// capacity (tests and embedders); runServe passes the flag-configured values
-// via newServerWith.
+// cachedResult is one stored /v1/reconstruct response: the rendered body and
+// the engine name for the X-Hammer-Engine header (also inside the body, but
+// stored separately so a hit never re-parses what it is about to write).
+type cachedResult struct {
+	Body   []byte
+	Engine string
+}
+
+// newServer builds a server with default session-manager limits, queue
+// policy, and cache capacity (tests and embedders); runServe passes the
+// flag-configured values via newServerWith.
 func newServer(cfg hammer.Config, workers int) (*server, error) {
 	return newServerWith(cfg, workers, serve.Config{}, cache.DefaultEntries)
 }
@@ -139,11 +161,18 @@ func newServer(cfg hammer.Config, workers int) (*server, error) {
 // Config knob the library does. cacheEntries caps the /v1/reconstruct result
 // cache (0 disables caching; the cache metrics then render as zeros).
 func newServerWith(cfg hammer.Config, workers int, sc serve.Config, cacheEntries int) (*server, error) {
-	sch, err := hammer.NewScheduler(cfg, workers)
+	return newServerPolicy(cfg, workers, "", sc, cacheEntries)
+}
+
+// newServerPolicy is newServerWith with an explicit scheduler queue policy
+// (the -sched flag): "" or "fifo" grants slots in arrival order, "spjf" by
+// shortest model-predicted runtime.
+func newServerPolicy(cfg hammer.Config, workers int, policy string, sc serve.Config, cacheEntries int) (*server, error) {
+	sch, err := hammer.NewSchedulerPolicy(cfg, workers, policy)
 	if err != nil {
 		return nil, err
 	}
-	c := cache.New[[]byte](cacheEntries)
+	c := cache.New[cachedResult](cacheEntries)
 	mgr := serve.NewManager(sc)
 	m := newServerMetrics(mgr.Len, c)
 	sch.Instrument(m.sched)
@@ -257,6 +286,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"ok":           true,
 		"workers":      s.sch.Workers(),
 		"engine":       engineLabel(s.sch.Options().Engine),
+		"policy":       s.sch.Policy(),
 		"sessions":     s.mgr.Len(),
 		"max_sessions": s.mgr.MaxSessions(),
 	})
@@ -271,19 +301,20 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	histogram, override, err := decodeReconstruct(body)
+	rr, err := decodeReconstruct(body)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
 	}
-	opts, err := s.requestOptions(override)
+	opts, err := s.requestOptions(rr.override)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
 	}
 	// Result cache: repeated identical (histogram, options) requests — the
 	// QAOA-optimizer pattern — skip reconstruction entirely. The key is a
-	// canonical hash over the validated effective options, so the bare and
+	// canonical hash over the validated effective options (a deadline never
+	// changes the result, so it is not part of the key), so the bare and
 	// {"counts": ...} spellings of one request share an entry. Cached
 	// responses are immutable by contract: handlers only marshal them.
 	var key string
@@ -292,20 +323,21 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		if opts != nil {
 			eff = *opts
 		}
-		key = cache.Key(histogram, eff)
-		if body, ok := s.cache.Get(key); ok {
+		key = cache.Key(rr.counts, eff)
+		if cached, ok := s.cache.Get(key); ok {
+			w.Header().Set(engineHeader, cached.Engine)
 			w.Header().Set(cacheHeader, cacheHit)
-			writeJSONBytes(w, http.StatusOK, body)
+			writeJSONBytes(w, http.StatusOK, cached.Body)
 			return
 		}
 	}
-	in, _, err := dist.FromHistogram(histogram)
+	in, _, err := dist.FromHistogram(rr.counts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
 	}
 	var resp reconstructResponse
-	err = s.sch.Reconstruct(r.Context(), sched.Request{In: in, Opts: opts}, func(res *core.Result) error {
+	err = s.sch.Reconstruct(r.Context(), sched.Request{In: in, Opts: opts, Deadline: rr.schedDeadline()}, func(res *core.Result) error {
 		resp = toResponse(res)
 		return nil
 	})
@@ -313,6 +345,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(r, err), -1, err)
 		return
 	}
+	w.Header().Set(engineHeader, resp.Engine)
 	if s.cache == nil {
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -329,7 +362,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	// would bound tens of GiB of memory instead of the documented
 	// entries × 1 MiB worst case.
 	if len(body) <= maxCachedResponseBytes {
-		s.cache.Put(key, body)
+		s.cache.Put(key, cachedResult{Body: body, Engine: resp.Engine})
 	}
 	w.Header().Set(cacheHeader, cacheMiss)
 	writeJSONBytes(w, http.StatusOK, body)
@@ -348,6 +381,12 @@ const (
 	cacheHit    = "hit"
 	cacheMiss   = "miss"
 )
+
+// The X-Hammer-Engine response header reports which reconstruction engine
+// produced a /v1/reconstruct response — the cost model's pick under the
+// default auto selection, or the pinned name. Cache hits report the engine
+// that filled the entry.
+const engineHeader = "X-Hammer-Engine"
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -370,16 +409,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results := make([]reconstructResponse, len(req.Requests))
 	err := s.sch.Batch(r.Context(), len(req.Requests),
 		func(i int) (sched.Request, error) {
-			histogram, override, err := decodeReconstruct(req.Requests[i])
+			rr, err := decodeReconstruct(req.Requests[i])
 			if err != nil {
 				return sched.Request{}, err
 			}
-			opts, err := s.requestOptions(override)
+			opts, err := s.requestOptions(rr.override)
 			if err != nil {
 				return sched.Request{}, err
 			}
-			d, _, err := dist.FromHistogram(histogram)
-			return sched.Request{In: d, Opts: opts}, err
+			d, _, err := dist.FromHistogram(rr.counts)
+			return sched.Request{In: d, Opts: opts, Deadline: rr.schedDeadline()}, err
 		},
 		func(i int, res *core.Result) error {
 			results[i] = toResponse(res)
@@ -489,41 +528,82 @@ func bodyStatus(err error) int {
 	return http.StatusBadRequest
 }
 
+// reconstructRequest is one decoded reconstruction request: the histogram,
+// the optional per-request config override, and the optional deadline budget
+// ({"deadline_ms": N} — 0 means no deadline).
+type reconstructRequest struct {
+	counts   map[string]float64
+	override *wireConfig
+	deadline time.Duration
+}
+
+// schedDeadline maps the wire budget onto the scheduler's absolute form,
+// anchored at decode time so queueing counts against the client's budget.
+func (rr *reconstructRequest) schedDeadline() time.Time {
+	if rr.deadline <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(rr.deadline)
+}
+
 // decodeReconstruct decodes one reconstruction request: a bare {"0101": mass}
 // histogram object, or a {"counts": {...}} wrapper optionally carrying a
-// per-request {"config": {...}} override. The bare form is tried first: it
-// parses in one pass (a wrapper body fails it immediately — "counts" maps to
-// an object, not a number), and it is the shape cache-hit traffic arrives
-// in, where decoding is most of the remaining latency.
-func decodeReconstruct(body []byte) (map[string]float64, *wireConfig, error) {
+// per-request {"config": {...}} override and a {"deadline_ms": N} budget. The
+// bare form is tried first: it parses in one pass (a wrapper body fails it
+// immediately — "counts" maps to an object, not a number), and it is the
+// shape cache-hit traffic arrives in, where decoding is most of the remaining
+// latency.
+func decodeReconstruct(body []byte) (*reconstructRequest, error) {
 	var bare map[string]float64
 	bareErr := json.Unmarshal(body, &bare)
 	if bareErr == nil {
-		return bare, nil, nil
+		return &reconstructRequest{counts: bare}, nil
 	}
 	var wrapped struct {
-		Counts map[string]float64 `json:"counts"`
-		Config *wireConfig        `json:"config"`
+		Counts     map[string]float64 `json:"counts"`
+		Config     *wireConfig        `json:"config"`
+		DeadlineMS int64              `json:"deadline_ms"`
 	}
 	if err := json.Unmarshal(body, &wrapped); err == nil && len(wrapped.Counts) > 0 {
-		return wrapped.Counts, wrapped.Config, nil
+		if wrapped.DeadlineMS < 0 {
+			return nil, fmt.Errorf("deadline_ms must be non-negative, got %d", wrapped.DeadlineMS)
+		}
+		return &reconstructRequest{
+			counts:   wrapped.Counts,
+			override: wrapped.Config,
+			deadline: time.Duration(wrapped.DeadlineMS) * time.Millisecond,
+		}, nil
 	}
-	return nil, nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", bareErr)
+	return nil, fmt.Errorf("request is neither a histogram object nor {\"counts\": ...}: %w", bareErr)
 }
 
 // decodeHistogram is the CLI's reading of the same shapes (per-request config
-// overrides are an HTTP concern; the CLI's configuration comes from flags).
+// overrides and deadlines are an HTTP concern; the CLI's configuration comes
+// from flags).
 func decodeHistogram(body []byte) (map[string]float64, error) {
-	h, _, err := decodeReconstruct(body)
-	return h, err
+	rr, err := decodeReconstruct(body)
+	if err != nil {
+		return nil, err
+	}
+	return rr.counts, nil
 }
 
-// statusFor maps a reconstruction error to an HTTP status: client
-// cancellation propagates as 499 (nginx's client-closed-request — the client
-// is gone either way), everything else is a bad request, since the
-// scheduler's configuration was validated at startup and the remaining
-// failures are input-shaped.
+// statusFor maps a reconstruction error to an HTTP status: deadline
+// rejections split by kind — 504 when the predicted runtime alone exceeds
+// the budget (no amount of retrying helps at this deadline) versus 429 when
+// the request was feasible but the queue ate the budget (retry-able once
+// load drops) — client cancellation propagates as 499 (nginx's
+// client-closed-request — the client is gone either way), and everything
+// else is a bad request, since the scheduler's configuration was validated
+// at startup and the remaining failures are input-shaped.
 func statusFor(r *http.Request, err error) int {
+	var de *sched.DeadlineError
+	if errors.As(err, &de) {
+		if de.Infeasible {
+			return http.StatusGatewayTimeout
+		}
+		return http.StatusTooManyRequests
+	}
 	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
 		return 499
 	}

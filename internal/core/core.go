@@ -114,6 +114,13 @@ func (o Options) radius(n int) int {
 	return o.Radius
 }
 
+// EffectiveRadius resolves the radius these options admit on an n-bit
+// problem: the configured radius clamped to n, or the paper's default when
+// unset. It is the radius a Reconstruct with these options will report — and
+// the one cost predictions must be computed at, since the admitted-pair
+// fraction depends on it. Negative radii (rejected by validation) panic.
+func (o Options) EffectiveRadius(n int) int { return o.radius(n) }
+
 // Result carries the reconstructed distribution together with the
 // intermediate quantities that the paper's Fig. 7 walkthrough plots and the
 // experiment drivers report.

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/bitstr"
+	"repro/internal/cost"
+	"repro/internal/dist"
+)
+
+// This file is the bridge between the registry and the cost model: auto
+// selection asks the active model which registered batch engine predicts
+// cheapest for the workload (costsel — the selection half), and the serving
+// layers ask for a runtime prediction of the engine a request will resolve
+// to (PredictCost — the admission half). Explicit engine pins never consult
+// the model for selection; only for prediction.
+
+// batchCandidates returns the registered batch engines auto-selection may
+// choose among, in a fixed order so cost ties resolve deterministically.
+func batchCandidates() []string {
+	candidates := make([]string, 0, 3)
+	for _, name := range []string{EngineExact, EngineBucketed, EngineBlocked} {
+		if r, ok := Lookup(name); ok && r.Engine != nil {
+			candidates = append(candidates, name)
+		}
+	}
+	return candidates
+}
+
+// chooseAuto resolves the auto policy for a workload: the active cost
+// model's cheapest predicted engine, falling back to the historical
+// support-size threshold when no candidate is modeled (a stripped-down
+// model installed via cost.SetActive must degrade, not break).
+func chooseAuto(w cost.Workload) string {
+	if name, _, ok := cost.Active().Choose(w, batchCandidates()); ok {
+		return name
+	}
+	if w.Support >= autoEngineThreshold {
+		return EngineBlocked
+	}
+	return EngineExact
+}
+
+// PredictCost predicts, without running anything, which engine a request
+// with the given options will resolve to on a histogram of the given
+// support and width, and how long the reconstruction is expected to take.
+// It mirrors the resolution the session will perform — pinned names predict
+// themselves, auto predicts the model's choice — so admission control and
+// queue ordering budget exactly the work that will run. ok is false when
+// the active model does not cover the engine (the scheduler then serves the
+// request without a budget rather than guessing).
+func PredictCost(opts Options, support, bits int) (engine string, predicted time.Duration, ok bool) {
+	if support <= 0 || bits <= 0 || opts.Radius < 0 {
+		return "", 0, false
+	}
+	w := cost.Workload{
+		Support: support,
+		Bits:    bits,
+		Radius:  opts.radius(bits),
+		TopM:    opts.TopM,
+	}
+	m := cost.Active()
+	name := opts.Engine
+	switch name {
+	case "", EngineAuto:
+		name = chooseAuto(w)
+	}
+	d, modeled := m.PredictDuration(name, w)
+	if !modeled {
+		return name, 0, false
+	}
+	return name, d, true
+}
+
+// Calibrate measures this process's registered engines on synthetic
+// workloads, refits the cost model's constants from the live samples, and
+// installs the refined model for every subsequent auto selection and
+// prediction. Call it at serving startup (hammerctl serve -calibrate) or on
+// demand; the pass takes well under a second per engine. The refined model
+// is returned so callers can log or persist the constants.
+func Calibrate(ctx context.Context) (*cost.Model, error) {
+	m, err := cost.Calibrate(ctx, CalibrationMeasurer(), cost.Active(), cost.CalibrationConfig{})
+	if err != nil {
+		return nil, err
+	}
+	cost.SetActive(m)
+	return m, nil
+}
+
+// CalibrationMeasurer returns the canonical cost.Measurer: it times warmed
+// Session reconstructions of a synthetic Hamming-clustered histogram (the
+// §6.6 workload shape the benchmarks use) with single-threaded scoring, the
+// configuration whose cost the model predicts.
+func CalibrationMeasurer() cost.Measurer { return calibrationMeasurer{} }
+
+type calibrationMeasurer struct{}
+
+func (calibrationMeasurer) Measure(ctx context.Context, engine string, support, bits, radius int) (float64, error) {
+	in := calibDist(bits, support, 42)
+	sess, err := NewSession(Options{Engine: engine, Radius: radius, Workers: 1})
+	if err != nil {
+		return 0, err
+	}
+	// One warm-up reconstruction grows the scratch to its high-water mark so
+	// the timed iterations measure the steady state the model predicts, not
+	// first-call allocation.
+	if _, err := sess.Reconstruct(ctx, in); err != nil {
+		return 0, err
+	}
+	const (
+		minElapsed = 10 * time.Millisecond
+		maxIters   = 256
+	)
+	start := time.Now()
+	iters := 0
+	for iters < maxIters && (iters == 0 || time.Since(start) < minElapsed) {
+		if _, err := sess.Reconstruct(ctx, in); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters), nil
+}
+
+// calibDist builds the synthetic calibration workload: a Hamming-clustered
+// core around one key plus a uniform tail, with exactly `support` unique
+// outcomes over an n-bit space — the same shape cmd/corebench measures, so
+// calibration refits the constants the benchmarks fitted.
+func calibDist(n, support int, seed int64) *dist.Dist {
+	if support > 1<<uint(min(n, 62)) {
+		support = 1 << uint(min(n, 62))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := dist.New(n)
+	key := bitstr.Bits(rng.Int63()) & bitstr.AllOnes(n)
+	d.Set(key, 0.05)
+	for i := 0; i < n && d.Len() < support; i++ {
+		d.Set(bitstr.Flip(key, i), 0.01+0.01*rng.Float64())
+	}
+	for d.Len() < support {
+		d.Set(bitstr.Bits(rng.Int63())&bitstr.AllOnes(n), 1e-4*(1+rng.Float64()))
+	}
+	return d.Normalize()
+}

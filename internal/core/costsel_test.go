@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+)
+
+// TestChooseAutoFallback pins the degradation path: when the active model
+// covers none of the registered candidates, auto-selection falls back to the
+// legacy support-size threshold instead of failing or picking arbitrarily.
+func TestChooseAutoFallback(t *testing.T) {
+	prev := cost.Active()
+	defer cost.SetActive(prev)
+	cost.SetActive(&cost.Model{Engines: map[string]cost.Coeffs{
+		"no-such-engine": {Setup: 1},
+	}})
+
+	small := goldenDist(4, 3)
+	if res := Reconstruct(small, Options{}); res.Engine != EngineExact {
+		t.Fatalf("fallback auto on N=%d picked %q", small.Len(), res.Engine)
+	}
+	large := goldenDist(12, 4)
+	if res := Reconstruct(large, Options{}); res.Engine != EngineBlocked {
+		t.Fatalf("fallback auto on N=%d picked %q", large.Len(), res.Engine)
+	}
+	if _, _, ok := PredictCost(Options{}, large.Len(), large.NumBits()); ok {
+		t.Fatal("PredictCost claimed coverage under a model with no known engines")
+	}
+}
+
+// TestPredictCostRejectsDegenerate pins the guard rails: non-positive
+// dimensions and negative radii never reach the model.
+func TestPredictCostRejectsDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		support, bits int
+		opts          Options
+	}{
+		{0, 20, Options{}},
+		{100, 0, Options{}},
+		{100, 20, Options{Radius: -1}},
+	} {
+		if _, _, ok := PredictCost(tc.opts, tc.support, tc.bits); ok {
+			t.Errorf("PredictCost(%+v, %d, %d) = ok", tc.opts, tc.support, tc.bits)
+		}
+	}
+}
+
+// TestCalibrateRefines runs the real measurer on a deliberately small grid
+// and checks the refit yields a valid model that still predicts positive,
+// finite cost for every batch engine — the contract serving startup relies
+// on before swapping the model in.
+func TestCalibrateRefines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration times real reconstructions")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	m, err := cost.Calibrate(ctx, CalibrationMeasurer(), cost.DefaultModel(), cost.CalibrationConfig{
+		Bits:     12,
+		Supports: []int{64, 192},
+		Radii:    []int{2, 5},
+		Engines:  []string{EngineExact, EngineBucketed, EngineBlocked},
+	})
+	if err != nil {
+		t.Fatalf("Calibrate: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("calibrated model invalid: %v", err)
+	}
+	for _, name := range []string{EngineExact, EngineBucketed, EngineBlocked} {
+		ns, ok := m.Predict(name, cost.Workload{Support: 500, Bits: 12, Radius: 5})
+		if !ok || ns <= 0 {
+			t.Fatalf("calibrated model predicts %v, %v for %s", ns, ok, name)
+		}
+	}
+}
+
+// TestCalibrateCancel pins context abort: a pre-canceled context must stop
+// the pass before it measures anything.
+func TestCalibrateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cost.Calibrate(ctx, CalibrationMeasurer(), cost.DefaultModel(), cost.CalibrationConfig{}); err == nil {
+		t.Fatal("Calibrate ignored canceled context")
+	}
+}

@@ -12,9 +12,12 @@ import (
 // functions; EngineAuto is not a registration but a per-problem policy over
 // the registered engines.
 const (
-	// EngineAuto (or the empty string) selects the engine by support
-	// size: small problems run the reference loop, everything else the
-	// blocked bit-packed engine.
+	// EngineAuto (or the empty string) selects the engine per workload from
+	// the active cost model (internal/cost): the registered batch engine with
+	// the cheapest predicted reconstruction time for the request's (support,
+	// width, radius). Typically that is exact on small supports, bucketed at
+	// tight radii where the index prunes most pairs, and blocked everywhere
+	// else. Explicit engine names bypass the model entirely.
 	EngineAuto = "auto"
 	// EngineExact is the reference O(N²) double loop, a line-by-line
 	// transcription of Algorithm 1.
@@ -29,9 +32,11 @@ const (
 	EngineBlocked = "blocked"
 )
 
-// autoEngineThreshold is the support size at which auto-selection switches
-// from the exact reference loop to the blocked bit-packed engine. Below it
-// the index and packing build overhead outweighs the pruned scan.
+// autoEngineThreshold is the legacy support-size cutover between the exact
+// reference loop and the blocked bit-packed engine. It survives only as
+// chooseAuto's fallback for when the active cost model covers none of the
+// registered candidates (e.g. a stripped model installed via
+// cost.SetActive); normal auto-selection is cost-model-driven.
 const autoEngineThreshold = 64
 
 // Problem is one flattened reconstruction instance handed to an Engine:

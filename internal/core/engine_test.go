@@ -157,10 +157,13 @@ func TestEnginesAgreeWideTopM(t *testing.T) {
 	}
 }
 
-// TestEngineAutoSelection pins the auto rule: small supports take the exact
-// reference loop, large supports the blocked bit-packed engine.
+// TestEngineAutoSelection pins the cost-model auto rule: small supports take
+// the exact reference loop, large supports at the default radius the blocked
+// bit-packed engine, and tight radii on large supports the bucketed index
+// (the popcount buckets prune almost every pair, so the pruned scan beats
+// the unconditional blocked pass). Explicit pins always bypass the model.
 func TestEngineAutoSelection(t *testing.T) {
-	small := goldenDist(4, 3) // support <= 16 < threshold
+	small := goldenDist(4, 3) // support <= 16
 	if small.Len() >= autoEngineThreshold {
 		t.Fatalf("test premise broken: small support %d", small.Len())
 	}
@@ -175,6 +178,25 @@ func TestEngineAutoSelection(t *testing.T) {
 	}
 	if res := Reconstruct(large, Options{}); res.Engine != EngineBlocked {
 		t.Fatalf("auto on N=%d picked %q", large.Len(), res.Engine)
+	}
+	if res := Reconstruct(large, Options{Radius: 2}); res.Engine != EngineBucketed {
+		t.Fatalf("auto on N=%d radius=2 picked %q", large.Len(), res.Engine)
+	}
+	// PredictCost must forecast the engine the session then actually runs —
+	// the admission layer budgets by this agreement.
+	for _, tc := range []struct {
+		opts Options
+		want string
+	}{
+		{Options{}, EngineBlocked},
+		{Options{Radius: 2}, EngineBucketed},
+		{Options{Engine: EngineExact}, EngineExact},
+	} {
+		eng, d, ok := PredictCost(tc.opts, large.Len(), large.NumBits())
+		if !ok || eng != tc.want || d <= 0 {
+			t.Fatalf("PredictCost(%+v, N=%d) = %q, %v, %v; want %q",
+				tc.opts, large.Len(), eng, d, ok, tc.want)
+		}
 	}
 	// Pinning works in both directions regardless of size.
 	if res := Reconstruct(large, Options{Engine: EngineExact}); res.Engine != EngineExact {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/cost"
 )
 
 // Registration describes one named scoring engine in the registry. Batch
@@ -97,11 +99,13 @@ func lookupBatch(name string) (Registration, error) {
 	return r, nil
 }
 
-// resolve picks the engine for a problem of support size n: registered
-// engines by name, auto (or empty) by support size. Unknown and
-// streaming-only names come back as errors — the single choke point the
-// session, scheduler, and facades all flow through.
-func resolve(name string, n int) (Engine, error) {
+// resolve picks the engine for a workload: registered engines by name, auto
+// (or empty) by the active cost model's cheapest prediction over the
+// registered candidates (chooseAuto falls back to the legacy support-size
+// threshold when the model covers none of them). Unknown and streaming-only
+// names come back as errors — the single choke point the session, scheduler,
+// and facades all flow through.
+func resolve(name string, w cost.Workload) (Engine, error) {
 	r, err := lookupBatch(name)
 	if err != nil {
 		return nil, err
@@ -109,10 +113,7 @@ func resolve(name string, n int) (Engine, error) {
 	if r.Engine != nil {
 		return r.Engine, nil
 	}
-	auto := EngineExact
-	if n >= autoEngineThreshold {
-		auto = EngineBlocked
-	}
+	auto := chooseAuto(w)
 	r, ok := Lookup(auto)
 	if !ok || r.Engine == nil {
 		return nil, fmt.Errorf("auto-selected engine %q is not registered", auto)

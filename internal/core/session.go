@@ -8,6 +8,7 @@ import (
 	"slices"
 
 	"repro/internal/bitstr"
+	"repro/internal/cost"
 	"repro/internal/dist"
 )
 
@@ -210,7 +211,10 @@ func (s *Session) Reconstruct(ctx context.Context, in *dist.Dist) (*Result, erro
 	n := in.NumBits()
 	maxD := s.opts.radius(n)
 	outs, probs, tail := s.flatten(in)
-	eng, err := resolve(s.opts.Engine, len(outs))
+	// TopM truncation already happened in flatten, so the workload carries the
+	// scored support directly; auto-selection budgets exactly the pairs the
+	// engine will visit.
+	eng, err := resolve(s.opts.Engine, cost.Workload{Support: len(outs), Bits: n, Radius: maxD})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,182 @@
+package cost
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The committed benchmark reports double as the cost model's regression
+// suite: every row is replayed through the fitted model and the selection
+// quality floors below are the same numbers cmd/costfit gates in CI. If a
+// benchmark regeneration lands numbers the model can no longer rank, this
+// suite — not just CI — goes red.
+const (
+	selectionAccuracyFloor = 0.9
+	chosenSlowdownCap      = 1.3
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// loadCommitted loads the committed reports and the model refitted from
+// them — exactly the artifact costfit ships.
+func loadCommitted(t *testing.T) (*Model, *CoreReport) {
+	t.Helper()
+	root := repoRoot(t)
+	rep, err := LoadCore(filepath.Join(root, "BENCH_core.json"))
+	if err != nil {
+		t.Fatalf("load committed core benchmark: %v", err)
+	}
+	samples := CoreSamples(rep)
+	if srep, err := LoadStream(filepath.Join(root, "BENCH_stream.json")); err == nil {
+		samples = append(samples, StreamSamples(srep)...)
+	} else if !os.IsNotExist(err) {
+		t.Fatalf("load committed stream benchmark: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no single-threaded samples in committed benchmarks")
+	}
+	fitted := Fit(DefaultModel(), samples)
+	if err := fitted.Validate(); err != nil {
+		t.Fatalf("fitted model invalid: %v", err)
+	}
+	return fitted, rep
+}
+
+// TestCommittedBenchSelection is the validation suite of ISSUE: replay every
+// committed BENCH_core.json row, assert the refitted model picks the
+// measured-fastest engine on at least the accuracy floor of rows, and that
+// no model choice measured worse than the slowdown cap vs the row's winner.
+func TestCommittedBenchSelection(t *testing.T) {
+	fitted, rep := loadCommitted(t)
+	rows, accuracy, worst := EvaluateCore(fitted, rep)
+	if len(rows) == 0 {
+		t.Fatal("committed benchmark produced no evaluable rows")
+	}
+	for _, r := range rows {
+		if r.Chosen != r.Best {
+			t.Logf("MISS support=%d radius=%d: measured-best=%s model-chose=%s (%.2fx)",
+				r.Support, r.Radius, r.Best, r.Chosen, r.Slowdown)
+		}
+	}
+	if accuracy < selectionAccuracyFloor {
+		t.Errorf("selection accuracy %.0f%% below floor %.0f%% over %d rows",
+			100*accuracy, 100*selectionAccuracyFloor, len(rows))
+	}
+	if worst > chosenSlowdownCap {
+		t.Errorf("worst chosen slowdown %.2fx above cap %.2fx", worst, chosenSlowdownCap)
+	}
+}
+
+// TestCommittedBenchDefaultModel pins that the hand-seeded DefaultModel —
+// what a process uses before any fit or calibration — also ranks the
+// committed rows correctly. Auto-selection must not need a fit step to be
+// trustworthy.
+func TestCommittedBenchDefaultModel(t *testing.T) {
+	rep, err := LoadCore(filepath.Join(repoRoot(t), "BENCH_core.json"))
+	if err != nil {
+		t.Fatalf("load committed core benchmark: %v", err)
+	}
+	rows, accuracy, worst := EvaluateCore(DefaultModel(), rep)
+	if len(rows) == 0 {
+		t.Fatal("no evaluable rows")
+	}
+	if accuracy < selectionAccuracyFloor {
+		t.Errorf("default-model accuracy %.0f%% below floor %.0f%%", 100*accuracy, 100*selectionAccuracyFloor)
+	}
+	if worst > chosenSlowdownCap {
+		t.Errorf("default-model worst slowdown %.2fx above cap %.2fx", worst, chosenSlowdownCap)
+	}
+}
+
+// TestCommittedStreamCrossover pins the streaming claim end to end in the
+// model: at the committed BENCH_stream.json workload, the fitted model must
+// predict the incremental delta-patch cheaper than any batch engine —
+// that prediction is why the stream layer exists.
+func TestCommittedStreamCrossover(t *testing.T) {
+	srep, err := LoadStream(filepath.Join(repoRoot(t), "BENCH_stream.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			t.Skip("no committed stream benchmark")
+		}
+		t.Fatal(err)
+	}
+	fitted, _ := loadCommitted(t)
+	w := Workload{
+		Support: srep.Support,
+		Bits:    srep.Bits,
+		Radius:  defaultRadius(srep.Bits),
+		Delta:   srep.BatchShots,
+	}
+	inc, ok := fitted.Predict(EngineIncremental, w)
+	if !ok {
+		t.Fatal("incremental not modeled after stream fit")
+	}
+	for _, name := range []string{EngineExact, EngineBucketed, EngineBlocked} {
+		batch, ok := fitted.Predict(name, w)
+		if !ok {
+			t.Fatalf("%s not modeled", name)
+		}
+		if inc >= batch {
+			t.Errorf("model predicts incremental (%.0f ns) no cheaper than %s (%.0f ns) at the committed stream workload",
+				inc, name, batch)
+		}
+	}
+}
+
+// TestCoreSamplesSkipsMultiWorker pins the schema normalization contract:
+// rows measured with intra-request parallelism are excluded from the fit.
+func TestCoreSamplesSkipsMultiWorker(t *testing.T) {
+	rep := &CoreReport{
+		Bits:    20,
+		Workers: 1,
+		Configs: []CoreConfig{{
+			Support: 1000, Radius: 9,
+			Engines: map[string]CoreEngineRun{
+				"exact":   {NsPerOp: 100, Workers: 1},
+				"blocked": {NsPerOp: 50, Workers: 4}, // multicore run: excluded
+			},
+		}},
+	}
+	samples := CoreSamples(rep)
+	if len(samples) != 1 || samples[0].Engine != "exact" {
+		t.Fatalf("CoreSamples = %+v, want only the single-threaded run", samples)
+	}
+	// Legacy reports without per-run workers inherit the report-level pin.
+	rep.Configs[0].Engines["blocked"] = CoreEngineRun{NsPerOp: 50}
+	if samples := CoreSamples(rep); len(samples) != 2 {
+		t.Fatalf("legacy fallback produced %d samples, want 2", len(samples))
+	}
+	// And a report-level multicore pin excludes everything without a per-run
+	// override.
+	rep.Workers = 8
+	rep.Configs[0].Engines["exact"] = CoreEngineRun{NsPerOp: 100}
+	if samples := CoreSamples(rep); len(samples) != 0 {
+		t.Fatalf("multicore report produced %d samples, want 0", len(samples))
+	}
+}
+
+// TestEvaluateCoreSkipsThinRows pins that rows with fewer than two
+// single-threaded engines cannot vote: a one-engine row has no ranking to
+// validate.
+func TestEvaluateCoreSkipsThinRows(t *testing.T) {
+	rep := &CoreReport{
+		Bits:    20,
+		Workers: 1,
+		Configs: []CoreConfig{{
+			Support: 1000, Radius: 9,
+			Engines: map[string]CoreEngineRun{"exact": {NsPerOp: 100, Workers: 1}},
+		}},
+	}
+	rows, _, _ := EvaluateCore(DefaultModel(), rep)
+	if len(rows) != 0 {
+		t.Fatalf("one-engine row evaluated: %+v", rows)
+	}
+}

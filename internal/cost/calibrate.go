@@ -1,0 +1,90 @@
+package cost
+
+import (
+	"context"
+	"fmt"
+)
+
+// Measurer runs one engine on one synthetic workload and reports the
+// measured nanoseconds per reconstruction. core provides the canonical
+// implementation (core.CalibrationMeasurer); cost defines only the contract
+// so the model stays free of engine imports.
+type Measurer interface {
+	Measure(ctx context.Context, engine string, support, bits, radius int) (nsPerOp float64, err error)
+}
+
+// CalibrationConfig bounds a self-calibration pass. The zero value selects a
+// grid small enough to finish in well under a second of measurement per
+// engine while still spanning the radius regimes that separate the engines:
+// a tightly pinned radius (index pruning dominates) and the paper's default
+// (admission work dominates).
+type CalibrationConfig struct {
+	// Bits is the synthetic outcome width (0 = 16).
+	Bits int
+	// Supports are the synthetic support sizes (nil = {192, 384}).
+	Supports []int
+	// Radii are the resolved admission radii to measure (nil = {2, Bits/2−1}).
+	Radii []int
+	// Engines are the engines to measure (nil = every batch engine the base
+	// model knows; the incremental engine keeps its benchmark-fitted
+	// constants — it has no one-shot form to measure).
+	Engines []string
+}
+
+func (c CalibrationConfig) withDefaults(base *Model) CalibrationConfig {
+	if c.Bits == 0 {
+		c.Bits = 16
+	}
+	if len(c.Supports) == 0 {
+		c.Supports = []int{192, 384}
+	}
+	if len(c.Radii) == 0 {
+		c.Radii = []int{2, defaultRadius(c.Bits)}
+	}
+	if len(c.Engines) == 0 {
+		for _, name := range base.Names() {
+			if name != EngineIncremental {
+				c.Engines = append(c.Engines, name)
+			}
+		}
+	}
+	return c
+}
+
+// Calibrate measures the configured engine grid on the running host and
+// refits the base model's per-pair constants from the fresh samples,
+// returning a new model (the base is never mutated — install the result with
+// SetActive when it validates). It is the startup / on-demand counterpart of
+// the offline benchmark fit: same Fit, different sample source. The context
+// aborts the pass between measurements.
+func Calibrate(ctx context.Context, meas Measurer, base *Model, cfg CalibrationConfig) (*Model, error) {
+	if base == nil {
+		base = DefaultModel()
+	}
+	cfg = cfg.withDefaults(base)
+	var samples []Sample
+	for _, engine := range cfg.Engines {
+		for _, support := range cfg.Supports {
+			for _, radius := range cfg.Radii {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				ns, err := meas.Measure(ctx, engine, support, cfg.Bits, radius)
+				if err != nil {
+					return nil, fmt.Errorf("cost: calibrate %s at support %d radius %d: %w",
+						engine, support, radius, err)
+				}
+				samples = append(samples, Sample{
+					Engine:  engine,
+					W:       Workload{Support: support, Bits: cfg.Bits, Radius: radius},
+					NsPerOp: ns,
+				})
+			}
+		}
+	}
+	m := Fit(base, samples)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,71 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzPredict pins the three prediction invariants the scheduler and the
+// auto-selector rely on, over arbitrary workloads and every modeled engine:
+//
+//  1. finite — never NaN or Inf;
+//  2. strictly positive — admission control divides by predictions;
+//  3. monotone non-decreasing in support and in radius — growing the
+//     problem can never predict less work, so deadline feasibility checks
+//     cannot be gamed by inflating a dimension.
+func FuzzPredict(f *testing.F) {
+	f.Add(1000, 20, 9, 0, 0)
+	f.Add(16, 4, 1, 0, 0)
+	f.Add(4000, 20, 2, 500, 64)
+	f.Add(0, 0, 0, 0, 0)
+	f.Add(-5, -3, -2, -1, -7)
+	f.Add(1<<20, 64, 64, 1<<19, 1<<10)
+	f.Fuzz(func(t *testing.T, support, bits, radius, topM, delta int) {
+		// Keep the step sizes sane so the monotone probes stay in range.
+		m := DefaultModel()
+		w := Workload{Support: support, Bits: bits, Radius: radius, TopM: topM, Delta: delta}
+		for _, engine := range m.Names() {
+			ns, ok := m.Predict(engine, w)
+			if !ok {
+				t.Fatalf("%s not modeled", engine)
+			}
+			if math.IsNaN(ns) || math.IsInf(ns, 0) {
+				t.Fatalf("%s(%+v) = %v, not finite", engine, w, ns)
+			}
+			if ns < 1 {
+				t.Fatalf("%s(%+v) = %v, below the positive floor", engine, w, ns)
+			}
+
+			// Monotone in support: more outcomes never predict less work.
+			// (TopM caps the effective support, so only probe when the cap
+			// is not already binding.)
+			if w.Support < math.MaxInt32 && (w.TopM <= 0 || w.Support < w.TopM) {
+				grown := w
+				grown.Support++
+				if ns2, _ := m.Predict(engine, grown); ns2 < ns {
+					t.Fatalf("%s: support %d -> %d shrank prediction %v -> %v",
+						engine, w.Support, grown.Support, ns, ns2)
+				}
+			}
+			// Monotone in radius: admitting more distance never predicts
+			// less work.
+			if w.Radius < math.MaxInt32 {
+				wider := w
+				wider.Radius++
+				if ns2, _ := m.Predict(engine, wider); ns2 < ns {
+					t.Fatalf("%s: radius %d -> %d shrank prediction %v -> %v",
+						engine, w.Radius, wider.Radius, ns, ns2)
+				}
+			}
+			// Monotone in delta for the incremental engine.
+			if engine == EngineIncremental && w.Delta < math.MaxInt32 {
+				dirtier := w
+				dirtier.Delta++
+				if ns2, _ := m.Predict(engine, dirtier); ns2 < ns {
+					t.Fatalf("incremental: delta %d -> %d shrank prediction %v -> %v",
+						w.Delta, dirtier.Delta, ns, ns2)
+				}
+			}
+		}
+	})
+}

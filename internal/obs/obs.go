@@ -20,6 +20,13 @@ var LatencyBuckets = []float64{
 	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// RatioBuckets is the bucket layout for actual/predicted accuracy ratios,
+// centered on 1 (a perfect prediction) with tails for order-of-magnitude
+// misses in either direction.
+var RatioBuckets = []float64{
+	0.1, 0.25, 0.5, 0.75, 0.9, 1, 1.1, 1.25, 1.5, 2, 4, 10,
+}
+
 // metric is one named instrument the Registry can render.
 type metric interface {
 	// render writes the metric's # HELP/# TYPE header and sample lines.

@@ -28,6 +28,12 @@ type Config struct {
 	// request-level concurrency slows both down. Set it explicitly to trade
 	// request latency for throughput.
 	Opts core.Options
+
+	// Policy selects how a freed worker slot is assigned among waiting
+	// requests: PolicyFIFO (the default, also selected by "") in arrival
+	// order, PolicySPJF by shortest model-predicted runtime. Deadline
+	// admission (Request.Deadline) works under either policy.
+	Policy string
 }
 
 // Metrics is the scheduler's optional instrumentation. Any field may be nil
@@ -44,13 +50,28 @@ type Metrics struct {
 	// RunSeconds observes the time a request holds its slot — the work
 	// itself, the signal for capacity planning.
 	RunSeconds *obs.Histogram
+
+	// PredictedSeconds and ActualSeconds observe, labeled by engine, the
+	// cost model's runtime prediction for a served request and the runtime
+	// it then measured. Their divergence per engine is the model's live
+	// accuracy — the number a calibration pass should move toward 1.
+	PredictedSeconds *obs.HistogramVec
+	ActualSeconds    *obs.HistogramVec
+	// ErrorRatio observes actual/predicted per engine. A well-calibrated
+	// model concentrates mass around 1; sustained drift says recalibrate.
+	ErrorRatio *obs.HistogramVec
+	// DeadlineRejected counts deadline admission rejections, labeled by
+	// reason: "infeasible" (predicted runtime alone exceeds the remaining
+	// time) or "overloaded" (no slot freed by deadline−predicted).
+	DeadlineRejected *obs.CounterVec
 }
 
 // Scheduler runs reconstructions against one bounded worker budget with
 // pooled per-request sessions. It is safe for concurrent use.
 type Scheduler struct {
 	opts    core.Options
-	sem     chan struct{}
+	policy  string
+	slots   semaphore
 	pool    sync.Pool
 	metrics *Metrics
 }
@@ -71,11 +92,24 @@ func New(cfg Config) (*Scheduler, error) {
 	if _, err := core.NewSession(opts); err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
 	}
+	if err := ValidatePolicy(cfg.Policy); err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+	policy := cfg.Policy
+	if policy == "" {
+		policy = PolicyFIFO
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &Scheduler{opts: opts, sem: make(chan struct{}, workers)}
+	var slots semaphore
+	if policy == PolicySPJF {
+		slots = newSPJF(workers)
+	} else {
+		slots = make(fifoSem, workers)
+	}
+	s := &Scheduler{opts: opts, policy: policy, slots: slots}
 	s.pool.New = func() any {
 		sess, err := core.NewSession(opts)
 		if err != nil {
@@ -88,41 +122,39 @@ func New(cfg Config) (*Scheduler, error) {
 }
 
 // Workers returns the size of the shared worker budget.
-func (s *Scheduler) Workers() int { return cap(s.sem) }
+func (s *Scheduler) Workers() int { return s.slots.capacity() }
+
+// Policy returns the queue-ordering policy in effect.
+func (s *Scheduler) Policy() string { return s.policy }
 
 // Options returns the default per-request reconstruction options.
 func (s *Scheduler) Options() core.Options { return s.opts }
 
-// acquire waits for a worker slot (or ctx). The returned timestamp is when
-// the slot was taken — release uses it to observe the run latency — and is
-// zero when uninstrumented, keeping the clock off the hot path.
-func (s *Scheduler) acquire(ctx context.Context) (time.Time, error) {
+// acquire waits for a worker slot (or ctx); predNs ranks the wait under
+// PolicySPJF (pass predUnknown for work without a prediction). The returned
+// timestamp is when the slot was taken — release uses it to observe the run
+// latency — and is zero when uninstrumented, keeping the clock off the hot
+// path.
+func (s *Scheduler) acquire(ctx context.Context, predNs int64) (time.Time, error) {
 	m := s.metrics
 	if m == nil {
-		select {
-		case s.sem <- struct{}{}:
-			return time.Time{}, nil
-		case <-ctx.Done():
-			return time.Time{}, ctx.Err()
-		}
+		return time.Time{}, s.slots.acquire(ctx, predNs)
 	}
 	m.QueueDepth.Inc()
 	arrived := time.Now()
-	select {
-	case s.sem <- struct{}{}:
-		taken := time.Now()
+	if err := s.slots.acquire(ctx, predNs); err != nil {
 		m.QueueDepth.Dec()
-		m.WaitSeconds.Observe(taken.Sub(arrived).Seconds())
-		m.InFlight.Inc()
-		return taken, nil
-	case <-ctx.Done():
-		m.QueueDepth.Dec()
-		return time.Time{}, ctx.Err()
+		return time.Time{}, err
 	}
+	taken := time.Now()
+	m.QueueDepth.Dec()
+	m.WaitSeconds.Observe(taken.Sub(arrived).Seconds())
+	m.InFlight.Inc()
+	return taken, nil
 }
 
 func (s *Scheduler) release(taken time.Time) {
-	<-s.sem
+	s.slots.release()
 	if m := s.metrics; m != nil {
 		m.InFlight.Dec()
 		m.RunSeconds.Observe(time.Since(taken).Seconds())
@@ -136,7 +168,7 @@ func (s *Scheduler) release(taken time.Time) {
 // requests cannot together oversubscribe the host: everything CPU-bound the
 // server does drains from cap(sem) slots.
 func (s *Scheduler) Do(ctx context.Context, fn func() error) error {
-	taken, err := s.acquire(ctx)
+	taken, err := s.acquire(ctx, predUnknown)
 	if err != nil {
 		return err
 	}
@@ -154,6 +186,18 @@ func (s *Scheduler) Do(ctx context.Context, fn func() error) error {
 type Request struct {
 	In   *dist.Dist
 	Opts *core.Options
+
+	// Deadline, when non-zero, is the absolute time by which the request's
+	// reconstruction must have finished. Admission control compares it
+	// against the cost model's runtime prediction: a request whose
+	// predicted run alone exceeds the remaining time is rejected
+	// immediately with an infeasible *DeadlineError, and a feasible one
+	// waits for a slot only until deadline−predicted — the last instant it
+	// could still start and finish in time — before being rejected as
+	// overloaded. Rejections happen while the request is queued, so they
+	// never consume or leak a worker slot. Requests the model cannot
+	// predict fall back to plain context-deadline behavior.
+	Deadline time.Time
 }
 
 // effective resolves a request's options against the scheduler defaults.
@@ -177,15 +221,53 @@ func (s *Scheduler) prepare(sess *core.Session, opts *core.Options) error {
 	return nil
 }
 
-// Reconstruct serves one request: it waits for a worker slot, draws a session
-// from the pool (reconfigured in place if the request overrides the default
-// options), reconstructs, and hands the result to consume before the session
-// returns to the pool. The result is session-owned — consume must copy
-// anything it keeps (formatting into a response inside consume is the
-// intended shape).
+// predict runs the cost model against a request, returning the engine the
+// request will resolve to and its predicted runtime (ok=false when the
+// model has no coverage or the input is empty — the request then runs
+// unbudgeted).
+func (s *Scheduler) predict(req Request) (engine string, d time.Duration, ok bool) {
+	if req.In == nil || req.In.Len() == 0 {
+		return "", 0, false
+	}
+	return core.PredictCost(s.effective(req.Opts), req.In.Len(), req.In.NumBits())
+}
+
+// Reconstruct serves one request: it predicts the runtime, applies deadline
+// admission (see Request.Deadline), waits for a worker slot (ranked by the
+// prediction under PolicySPJF), draws a session from the pool (reconfigured
+// in place if the request overrides the default options), reconstructs, and
+// hands the result to consume before the session returns to the pool. The
+// result is session-owned — consume must copy anything it keeps (formatting
+// into a response inside consume is the intended shape).
 func (s *Scheduler) Reconstruct(ctx context.Context, req Request, consume func(*core.Result) error) error {
-	taken, err := s.acquire(ctx)
+	engine, predicted, predOK := s.predict(req)
+	predNs := int64(predUnknown)
+	if predOK {
+		predNs = int64(predicted)
+	}
+	actx := ctx // context bounding the slot wait
+	if !req.Deadline.IsZero() {
+		startBy := req.Deadline
+		if predOK {
+			remaining := time.Until(req.Deadline)
+			if predicted >= remaining {
+				s.countDeadline("infeasible")
+				return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: remaining, Infeasible: true}
+			}
+			startBy = req.Deadline.Add(-predicted)
+		}
+		var cancel context.CancelFunc
+		actx, cancel = context.WithDeadline(ctx, startBy)
+		defer cancel()
+	}
+	taken, err := s.acquire(actx, predNs)
 	if err != nil {
+		// Distinguish "the admission window closed" from the caller's own
+		// context dying: only the former is a deadline rejection.
+		if !req.Deadline.IsZero() && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			s.countDeadline("overloaded")
+			return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: time.Until(req.Deadline)}
+		}
 		return err
 	}
 	defer s.release(taken)
@@ -194,11 +276,34 @@ func (s *Scheduler) Reconstruct(ctx context.Context, req Request, consume func(*
 	if err := s.prepare(sess, req.Opts); err != nil {
 		return err
 	}
-	res, err := sess.Reconstruct(ctx, req.In)
+	rctx := ctx // the run itself may use the full time up to the deadline
+	if !req.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithDeadline(ctx, req.Deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := sess.Reconstruct(rctx, req.In)
 	if err != nil {
 		return err
 	}
+	if m := s.metrics; m != nil && predOK {
+		actual := time.Since(start).Seconds()
+		// Label by the engine that actually ran; PredictCost mirrors the
+		// session's resolution, so it matches the predicted engine.
+		m.PredictedSeconds.Observe(predicted.Seconds(), res.Engine)
+		m.ActualSeconds.Observe(actual, res.Engine)
+		if p := predicted.Seconds(); p > 0 {
+			m.ErrorRatio.Observe(actual/p, res.Engine)
+		}
+	}
 	return consume(res)
+}
+
+func (s *Scheduler) countDeadline(reason string) {
+	if m := s.metrics; m != nil {
+		m.DeadlineRejected.Inc(reason)
+	}
 }
 
 // BatchError is the failure of one request in a Batch: the request's index
@@ -256,7 +361,7 @@ func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (Reques
 		cancel()
 	}
 
-	spawn := cap(s.sem)
+	spawn := s.slots.capacity()
 	if spawn > n {
 		spawn = n
 	}
@@ -271,7 +376,11 @@ func (s *Scheduler) Batch(ctx context.Context, n int, source func(i int) (Reques
 				if i >= n || bctx.Err() != nil {
 					break
 				}
-				taken, err := s.acquire(bctx)
+				// Batch members materialize after the slot is taken (source
+				// runs inside the worker), so there is no prediction to rank
+				// by yet; they queue behind predicted interactive requests
+				// under PolicySPJF.
+				taken, err := s.acquire(bctx, predUnknown)
 				if err != nil {
 					break
 				}
