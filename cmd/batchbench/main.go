@@ -48,6 +48,7 @@ type report struct {
 	GOOS                string  `json:"goos"`
 	GOARCH              string  `json:"goarch"`
 	CPUs                int     `json:"cpus"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
 }
 
 func main() {
@@ -119,6 +120,7 @@ func main() {
 		GOOS:                runtime.GOOS,
 		GOARCH:              runtime.GOARCH,
 		CPUs:                runtime.NumCPU(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
 	}
 	rep.Speedup = float64(rep.SerialNs) / float64(rep.BatchNs)
 	rep.SpeedupVs1W = float64(rep.Serial1WNs) / float64(rep.BatchNs)

@@ -43,6 +43,7 @@ type report struct {
 	GOOS         string  `json:"goos"`
 	GOARCH       string  `json:"goarch"`
 	CPUs         int     `json:"cpus"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
 }
 
 func main() {
@@ -112,6 +113,7 @@ func main() {
 		GOOS:         runtime.GOOS,
 		GOARCH:       runtime.GOARCH,
 		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 	}
 	rep.SpeedupHit = float64(rep.FullNs) / float64(rep.HitNs)
 

@@ -37,6 +37,12 @@ type engineRun struct {
 	NsPerOp   int64   `json:"ns_per_op"`
 	NsPerPair float64 `json:"ns_per_pair"`
 	Workers   int     `json:"workers"`
+	// GOMAXPROCS and CPUs record the producing host's scheduler width per
+	// run: a Workers=1 pin rules out intra-request fan-out, but the runtime
+	// (GC, sibling benchmarks) still differs between a 1-CPU container and a
+	// 32-way CI agent, and cross-report comparisons need to see that.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	CPUs       int `json:"cpus"`
 }
 
 // config is one (support, radius) workload row. Pairs is the unordered
@@ -70,15 +76,16 @@ type gate struct {
 
 // report is the BENCH_core.json schema.
 type report struct {
-	Benchmark string   `json:"benchmark"`
-	Bits      int      `json:"bits"`
-	Workers   int      `json:"workers"`
-	Note      string   `json:"note"`
-	Configs   []config `json:"configs"`
-	Gate      gate     `json:"gate"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
+	Benchmark  string   `json:"benchmark"`
+	Bits       int      `json:"bits"`
+	Workers    int      `json:"workers"`
+	Note       string   `json:"note"`
+	Configs    []config `json:"configs"`
+	Gate       gate     `json:"gate"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPUs       int      `json:"cpus"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
 }
 
 // benchWorkers pins every measured run single-threaded; it is written into
@@ -102,9 +109,10 @@ func main() {
 		Workers:   benchWorkers,
 		Note: "single-threaded ns per unordered outcome pair; the dev and CI hosts are 1-CPU, " +
 			"so the committed gate pins the single-thread hot path, not parallel scaling",
-		GOOS:   runtime.GOOS,
-		GOARCH: runtime.GOARCH,
-		CPUs:   runtime.NumCPU(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, support := range supports {
 		d := synthetic(*bits, support, 42)
@@ -129,9 +137,11 @@ func main() {
 				})
 				ns := res.NsPerOp()
 				cfg.Engines[engine] = engineRun{
-					NsPerOp:   ns,
-					NsPerPair: float64(ns) / float64(pairs),
-					Workers:   benchWorkers,
+					NsPerOp:    ns,
+					NsPerPair:  float64(ns) / float64(pairs),
+					Workers:    benchWorkers,
+					GOMAXPROCS: runtime.GOMAXPROCS(0),
+					CPUs:       runtime.NumCPU(),
 				}
 				fmt.Fprintf(os.Stderr, "support=%d radius=%d engine=%s: %d ns/op (%.3f ns/pair)\n",
 					support, cfg.Radius, engine, ns, float64(ns)/float64(pairs))

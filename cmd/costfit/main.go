@@ -67,6 +67,8 @@ func main() {
 
 	if *table {
 		printTable(fitted, rep.Bits)
+		fmt.Println()
+		printShardTable(fitted, rep.Bits)
 		return
 	}
 
@@ -142,6 +144,49 @@ func printTable(m *cost.Model, bits int) {
 				chosen = "?"
 			}
 			fmt.Printf(" %s |", chosen)
+		}
+		fmt.Println()
+	}
+}
+
+// printShardTable renders the sharded-vs-local crossover table for
+// docs/operations.md: at the default radius and benchmark width, for each
+// support × replica-count cell, whether the model predicts a stripe-sharded
+// run beats single-node, and by how much. The stripe-aware term (per-stripe
+// setup + wire transfer + merge per tree level) makes small supports local
+// and large supports sharded; the crossover row is where -replicas starts
+// paying off.
+func printShardTable(m *cost.Model, bits int) {
+	supports := []int{1000, 4000, 16000, 64000, 256000}
+	stripeCounts := []int{2, 4, 8}
+	r := defaultRadius(bits)
+	engine := cost.EngineBlocked
+	fmt.Printf("Sharded vs local, %s engine, radius %d @ %d bits (predicted local / sharded):\n\n", engine, r, bits)
+	fmt.Print("| support \\ replicas |")
+	for _, s := range stripeCounts {
+		fmt.Printf(" %d |", s)
+	}
+	fmt.Println()
+	fmt.Print("|---|")
+	for range stripeCounts {
+		fmt.Print("---|")
+	}
+	fmt.Println()
+	for _, n := range supports {
+		w := cost.Workload{Support: n, Bits: bits, Radius: r}
+		local, _ := m.Predict(engine, w)
+		fmt.Printf("| %d |", n)
+		for _, s := range stripeCounts {
+			sharded, ok := m.PredictSharded(engine, w, s)
+			if !ok {
+				fmt.Print(" ? |")
+				continue
+			}
+			verdict := "local"
+			if sharded < local {
+				verdict = "shard"
+			}
+			fmt.Printf(" %s (%.1fx) |", verdict, local/sharded)
 		}
 		fmt.Println()
 	}

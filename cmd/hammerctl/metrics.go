@@ -10,6 +10,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // Observability for hammerctl serve: every metric the server exports lives
@@ -33,6 +34,7 @@ type serverMetrics struct {
 	reg   *obs.Registry
 	sched *sched.Metrics
 	serve *serve.Metrics
+	shard shard.Metrics
 	http  httpMetrics
 }
 
@@ -67,6 +69,14 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult]) *serverMetr
 				"Streaming sessions created."),
 			Evicted: reg.Counter("hammer_sessions_evicted_total",
 				"Streaming sessions evicted by the idle TTL."),
+		},
+		shard: shard.Metrics{
+			StripeSeconds: reg.Histogram("hammer_shard_stripe_seconds",
+				"Wall time per stripe RPC the shard coordinator issues, including attempts that fail over.", obs.LatencyBuckets),
+			MergeSeconds: reg.Histogram("hammer_shard_merge_seconds",
+				"Time the coordinator spends tree-merging stripe partials and re-scoring.", obs.LatencyBuckets),
+			Fallbacks: reg.CounterVec("hammer_shard_fallback_total",
+				"Stripes recomputed locally after their replica failed, by reason (error = RPC/decode failure, deadline = cost-model budget miss).", "reason"),
 		},
 		http: httpMetrics{
 			requests: reg.CounterVec("hammer_http_requests_total",

@@ -11,6 +11,7 @@ import (
 	"mime"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	hammer "repro"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/sched"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // maxRequestBytes bounds one HTTP request body. A histogram entry is ~30
@@ -47,6 +49,8 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", cache.DefaultEntries, "LRU result-cache capacity for /v1/reconstruct (0 = disable caching)")
 	schedPolicy := fs.String("sched", sched.PolicyFIFO, "worker-slot queue policy: fifo (arrival order) or spjf (shortest predicted job first)")
 	calibrate := fs.Bool("calibrate", false, "re-fit the engine cost model on this host before serving (a few seconds of micro-benchmarks)")
+	replicas := fs.String("replicas", "", "comma-separated stripe replica base URLs (host:port or full URL); enables the shard coordinator on /v1/reconstruct")
+	shardMinSupport := fs.Int("shard-min-support", 0, "shard every reconstruction with at least this many outcomes instead of letting the cost model decide (0 = cost model)")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -67,6 +71,11 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}, *cacheEntries)
 	if err != nil {
 		return err
+	}
+	if *replicas != "" {
+		if err := srv.enableSharding(splitReplicas(*replicas), *shardMinSupport); err != nil {
+			return err
+		}
 	}
 	if *calibrate {
 		// Replace the committed-benchmark constants with ones timed on this
@@ -110,6 +119,9 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "hammerctl: serving on %s (%d workers, engine %s, %s scheduling, %d session slots, %d cache entries)\n",
 		ln.Addr(), srv.sch.Workers(), engineLabel(srv.sch.Options().Engine), srv.sch.Policy(), srv.mgr.MaxSessions(), srv.cache.Capacity())
+	if srv.coord != nil {
+		fmt.Fprintf(stdout, "hammerctl: shard coordinator enabled (%d replicas)\n", srv.coord.NumReplicas())
+	}
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
 }
@@ -135,6 +147,13 @@ type server struct {
 	// re-encoding on the hot path — and still reports X-Hammer-Engine.
 	cache   *cache.LRU[cachedResult]
 	metrics *serverMetrics
+	// coord, when non-nil (-replicas), fans large /v1/reconstruct requests
+	// out as pair-balanced stripes to replica servers; see shardserve.go.
+	coord *shard.Coordinator
+	// stripeSessions pools the Workers:1 sessions /v1/shard/reconstruct and
+	// the coordinator's local stripe fallback score on (ScoreStripe ignores
+	// session options — the spec fully describes the work).
+	stripeSessions sync.Pool
 }
 
 // cachedResult is one stored /v1/reconstruct response: the rendered body and
@@ -177,7 +196,16 @@ func newServerPolicy(cfg hammer.Config, workers int, policy string, sc serve.Con
 	m := newServerMetrics(mgr.Len, c)
 	sch.Instrument(m.sched)
 	mgr.Instrument(m.serve)
-	return &server{sch: sch, mgr: mgr, base: cfg, cache: c, metrics: m}, nil
+	srv := &server{sch: sch, mgr: mgr, base: cfg, cache: c, metrics: m}
+	srv.stripeSessions.New = func() any {
+		sess, err := core.NewSession(core.Options{Workers: 1})
+		if err != nil {
+			// Unreachable: constant, valid options.
+			panic(err)
+		}
+		return sess
+	}
+	return srv, nil
 }
 
 // mux registers the routes. Patterns use net/http's 1.22+ wildcard syntax,
@@ -191,6 +219,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
 	mux.HandleFunc("/v1/reconstruct", s.instrument(s.handleReconstruct))
+	mux.HandleFunc("/v1/shard/reconstruct", s.instrument(s.handleShardReconstruct))
 	mux.HandleFunc("/v1/batch", s.instrument(s.handleBatch))
 	mux.HandleFunc("/v1/stream", s.instrument(s.handleStreamCreate))
 	mux.HandleFunc("/v1/stream/{id}", s.instrument(s.handleStreamByID))
@@ -282,6 +311,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, -1, fmt.Errorf("method %s not allowed", r.Method))
 		return
 	}
+	replicas := 0
+	if s.coord != nil {
+		replicas = s.coord.NumReplicas()
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":           true,
 		"workers":      s.sch.Workers(),
@@ -289,6 +322,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"policy":       s.sch.Policy(),
 		"sessions":     s.mgr.Len(),
 		"max_sessions": s.mgr.MaxSessions(),
+		"replicas":     replicas,
 	})
 }
 
@@ -337,13 +371,35 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var resp reconstructResponse
-	err = s.sch.Reconstruct(r.Context(), sched.Request{In: in, Opts: opts, Deadline: rr.schedDeadline()}, func(res *core.Result) error {
-		resp = toResponse(res)
-		return nil
-	})
-	if err != nil {
-		writeError(w, statusFor(r, err), -1, err)
-		return
+	served := false
+	if s.coord != nil {
+		eff := s.sch.Options()
+		if opts != nil {
+			eff = *opts
+		}
+		if s.coord.ShouldShard(eff, in.Len(), in.NumBits()) {
+			sresp, serr := s.reconstructSharded(r.Context(), eff, in, rr.schedDeadline())
+			switch {
+			case serr == nil:
+				resp, served = sresp, true
+			case statusFor(r, serr) != http.StatusBadRequest:
+				// Deadline admission rejections (504/429) and client
+				// cancellation (499) end the request; any other coordinator
+				// failure degrades to the single-node path below.
+				writeError(w, statusFor(r, serr), -1, serr)
+				return
+			}
+		}
+	}
+	if !served {
+		err = s.sch.Reconstruct(r.Context(), sched.Request{In: in, Opts: opts, Deadline: rr.schedDeadline()}, func(res *core.Result) error {
+			resp = toResponse(res)
+			return nil
+		})
+		if err != nil {
+			writeError(w, statusFor(r, err), -1, err)
+			return
+		}
 	}
 	w.Header().Set(engineHeader, resp.Engine)
 	if s.cache == nil {

@@ -35,6 +35,7 @@ type report struct {
 	GOOS          string  `json:"goos"`
 	GOARCH        string  `json:"goarch"`
 	CPUs          int     `json:"cpus"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
 }
 
 func main() {
@@ -96,6 +97,7 @@ func main() {
 		GOOS:          runtime.GOOS,
 		GOARCH:        runtime.GOARCH,
 		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 	}
 
 	w := os.Stdout

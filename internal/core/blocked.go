@@ -71,10 +71,12 @@ func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float
 
 	// A[r*stride+d] is the admitted neighborhood strength of the rank-r
 	// outcome at distance d — same ownership discipline as the bucketed
-	// engine: with the filter on, row r is written only by the worker that
-	// owns rank r; the ablation path uses one pooled slab per worker and
-	// reduces below.
-	shared := !p.DisableFilter || workers == 1
+	// engine: with the filter on, row r is written only by the stripe that
+	// owns rank r; the ablation path uses one pooled slab per tree node and
+	// folds them through the reduction tree.
+	S := workers // stripes; already clamped to [1, N]
+	nodes := 2*S - 1
+	shared := !p.DisableFilter || S == 1
 	var acc []float64
 	var slabs [][]float64
 	if shared {
@@ -82,19 +84,27 @@ func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float
 		acc = s.acc
 		zeroFloats(acc)
 	} else {
-		slabs = s.ablationSlabs(workers, N, stride)
+		slabs = s.ablationSlabs(nodes, N, stride)
 	}
-	chsPartial := s.chsRows(workers, stride)
-	if workers <= 1 {
-		blockedPass(done, ix, pk, maxD, p.DisableFilter, chsPartial[0], acc, 0, 1)
+	treeRows := s.chsRows(nodes, stride)
+	if S == 1 {
+		blockedPass(done, ix, pk, maxD, p.DisableFilter, treeRows[0], acc, 0, N)
 	} else {
+		plan := s.stripePlan(N, S)
+		latches := s.stripeLatches(S - 1)
 		accShared := acc // captured read-only: keeps acc itself off the heap
-		parallelStride(N, workers, func(wk, start, wstride int) {
+		runStripeTree(S, latches, func(st int) {
+			sp := plan.Stripe(st)
 			rows := accShared
 			if !shared {
-				rows = slabs[wk]
+				rows = slabs[S-1+st]
 			}
-			blockedPass(done, ix, pk, maxD, p.DisableFilter, chsPartial[wk], rows, start, wstride)
+			blockedPass(done, ix, pk, maxD, p.DisableFilter, treeRows[S-1+st], rows, sp.Lo, sp.Hi)
+		}, func(parent, left, right int) {
+			addInto(treeRows[parent], treeRows[left], treeRows[right])
+			if !shared {
+				addInto(slabs[parent], slabs[left], slabs[right])
+			}
 		})
 	}
 	if err := ctx.Err(); err != nil {
@@ -103,19 +113,9 @@ func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float
 
 	s.chs = growFloats(s.chs, stride)
 	chs := s.chs
-	zeroFloats(chs)
-	for _, local := range chsPartial {
-		for d, v := range local {
-			chs[d] += v
-		}
-	}
+	copy(chs, treeRows[0])
 	if !shared {
 		acc = slabs[0]
-		for _, slab := range slabs[1:] {
-			for i, v := range slab {
-				acc[i] += v
-			}
-		}
 	}
 
 	s.w = growFloats(s.w, stride)
@@ -135,10 +135,12 @@ func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float
 	return chs, w, scores, nil
 }
 
-// blockedPass runs one worker's share of the flat fused pass — ranks start,
-// start+wstride, ... — accumulating its CHS row into local and admitted
-// neighborhood strengths into rows (the shared A matrix on the filtered
-// path, a private slab on the ablation path).
+// blockedPass runs one stripe's share of the flat fused pass — the
+// contiguous rank range [lo, hi) — accumulating its CHS partial into local
+// and admitted neighborhood strengths into rows (the shared A matrix on the
+// filtered path, a private slab on the ablation path). The same pass serves
+// the in-process striped engine and a replica's /v1/shard/reconstruct
+// stripe.
 //
 // The filtered hot loop is branchless and chain-split. Three observations
 // make that possible:
@@ -166,9 +168,8 @@ func (blockedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]float
 // accumulation chains of consecutive candidates run in parallel; banks fold
 // into the CHS row and the A matrix once per outer outcome — the per-row
 // stride-local state never leaves L1.
-func blockedPass(done <-chan struct{}, ix *dist.Index, pk *dist.Packed, maxD int, disableFilter bool, local, rows []float64, start, wstride int) {
+func blockedPass(done <-chan struct{}, ix *dist.Index, pk *dist.Packed, maxD int, disableFilter bool, local, rows []float64, lo0, hi0 int) {
 	ranked := ix.Ranked()
-	N := len(ranked)
 	n := pk.NumBits()
 	stride := maxD + 1
 	words, probs := pk.Words(), pk.Probs()
@@ -204,7 +205,7 @@ func blockedPass(done <-chan struct{}, ix *dist.Index, pk *dist.Packed, maxD int
 	var sum0, sum1, sum2, sum3 [256]float64
 	var rowBuf [bitstr.MaxBits + 1]float64
 	rl := rowBuf[:stride]
-	for i := start; i < N; i += wstride {
+	for i := lo0; i < hi0; i++ {
 		if canceled(done) {
 			return
 		}

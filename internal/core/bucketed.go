@@ -30,15 +30,20 @@ func init() {
 //     the fact, halving the number of Hamming-distance evaluations.
 //
 // The pass walks outcomes in descending probability (the index's rank
-// order). For a pair (i, j) with rank i < j, only the higher-probability
-// side i can receive filtered credit, so each worker writes only the A-rows
-// of the ranks it owns — no synchronization needed. The DisableFilter
-// ablation credits both sides, so that (rare) path keeps per-worker A slabs
-// — pooled in the Scratch like every other buffer — and reduces them
-// afterwards.
+// order), partitioned across workers as pair-balanced contiguous rank
+// stripes (dist.StripePlan): stripe boundaries are cut from the triangular
+// prefix sums so each stripe owns a near-equal share of the unordered pairs.
+// For a pair (i, j) with rank i < j, only the higher-probability side i can
+// receive filtered credit, so each stripe writes only the A-rows of the
+// ranks it owns — no synchronization needed. Per-stripe CHS partials merge
+// through the asynchronous reduction tree (reduce.go) instead of a global
+// barrier; the DisableFilter ablation credits both sides, so that (rare)
+// path keeps per-node A slabs — pooled in the Scratch like every other
+// buffer — and folds them through the same tree.
 //
-// The index and the A matrix live in the Scratch, rebuilt in place per call,
-// so a warmed-up session pays no allocation for either.
+// The index, the stripe plan, the tree rows, and the A matrix live in the
+// Scratch, rebuilt in place per call, so a warmed-up session pays no
+// allocation for any of them.
 type bucketedEngine struct{}
 
 func (bucketedEngine) Name() string { return EngineBucketed }
@@ -69,9 +74,11 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 
 	// A[r*stride+d] is the admitted neighborhood strength of the rank-r
 	// outcome at distance d. With the filter on, row r is written only by
-	// the worker that owns rank r; the ablation path uses one slab per
-	// worker instead and reduces below.
-	shared := !p.DisableFilter || workers == 1
+	// the stripe that owns rank r; the ablation path uses one slab per tree
+	// node instead and folds them through the reduction tree.
+	S := workers // stripes; already clamped to [1, N]
+	nodes := 2*S - 1
+	shared := !p.DisableFilter || S == 1
 	var acc []float64
 	var slabs [][]float64
 	if shared {
@@ -79,19 +86,27 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 		acc = s.acc
 		zeroFloats(acc)
 	} else {
-		slabs = s.ablationSlabs(workers, N, stride)
+		slabs = s.ablationSlabs(nodes, N, stride)
 	}
-	chsPartial := s.chsRows(workers, stride)
-	if workers <= 1 {
-		bucketedPass(done, ix, maxD, p.DisableFilter, chsPartial[0], acc, 0, 1)
+	treeRows := s.chsRows(nodes, stride)
+	if S == 1 {
+		bucketedPass(done, ix, maxD, p.DisableFilter, treeRows[0], acc, 0, N)
 	} else {
+		plan := s.stripePlan(N, S)
+		latches := s.stripeLatches(S - 1)
 		accShared := acc // captured read-only: keeps acc itself off the heap
-		parallelStride(N, workers, func(wk, start, wstride int) {
+		runStripeTree(S, latches, func(st int) {
+			sp := plan.Stripe(st)
 			rows := accShared
 			if !shared {
-				rows = slabs[wk]
+				rows = slabs[S-1+st]
 			}
-			bucketedPass(done, ix, maxD, p.DisableFilter, chsPartial[wk], rows, start, wstride)
+			bucketedPass(done, ix, maxD, p.DisableFilter, treeRows[S-1+st], rows, sp.Lo, sp.Hi)
+		}, func(parent, left, right int) {
+			addInto(treeRows[parent], treeRows[left], treeRows[right])
+			if !shared {
+				addInto(slabs[parent], slabs[left], slabs[right])
+			}
 		})
 	}
 	if err := ctx.Err(); err != nil {
@@ -100,19 +115,9 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 
 	s.chs = growFloats(s.chs, stride)
 	chs := s.chs
-	zeroFloats(chs)
-	for _, local := range chsPartial {
-		for d, v := range local {
-			chs[d] += v
-		}
-	}
+	copy(chs, treeRows[0])
 	if !shared {
 		acc = slabs[0]
-		for _, slab := range slabs[1:] {
-			for i, v := range slab {
-				acc[i] += v
-			}
-		}
 	}
 
 	s.w = growFloats(s.w, stride)
@@ -132,15 +137,16 @@ func (bucketedEngine) Score(ctx context.Context, p *Problem, s *Scratch) ([]floa
 	return chs, w, scores, nil
 }
 
-// bucketedPass runs one worker's share of the fused triangular pass — ranks
-// start, start+stride, ... — accumulating its CHS row into local and admitted
-// neighborhood strengths into rows (the shared A matrix on the filtered path,
-// a private slab on the ablation path).
-func bucketedPass(done <-chan struct{}, ix *dist.Index, maxD int, disableFilter bool, local, rows []float64, start, wstride int) {
+// bucketedPass runs one stripe's share of the fused triangular pass — the
+// contiguous rank range [lo, hi) — accumulating its CHS partial into local
+// and admitted neighborhood strengths into rows (the shared A matrix on the
+// filtered path, a private slab on the ablation path). The same pass serves
+// the in-process striped engine and a replica's /v1/shard/reconstruct
+// stripe.
+func bucketedPass(done <-chan struct{}, ix *dist.Index, maxD int, disableFilter bool, local, rows []float64, lo, hi int) {
 	ranked := ix.Ranked()
-	N := len(ranked)
 	stride := maxD + 1
-	for i := start; i < N; i += wstride {
+	for i := lo; i < hi; i++ {
 		if canceled(done) {
 			return
 		}

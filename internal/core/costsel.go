@@ -74,6 +74,34 @@ func PredictCost(opts Options, support, bits int) (engine string, predicted time
 	return name, d, true
 }
 
+// PredictShardCost mirrors PredictCost for a stripe-sharded run fanned over
+// `stripes` replicas: the engine is the stripe-capable resolution of the
+// options (pinned bucketed/blocked stick, auto takes the model's pick among
+// the pair) and the prediction is the active model's PredictShardedDuration —
+// per-stripe setup, wire transfer of the full support to every replica, the
+// pair-balanced share of the triangular scan, and one merge fold per tree
+// level. ok is false when the request cannot shard at all (DisableFilter
+// scatters credits across stripe boundaries; an explicit exact pin has no
+// fused pass to stripe) or when the model does not cover the engine. The
+// serve layer shards exactly when both predictions exist and the sharded one
+// is cheaper.
+func PredictShardCost(opts Options, support, bits, stripes int) (engine string, predicted time.Duration, ok bool) {
+	if support <= 0 || bits <= 0 || stripes <= 0 || opts.Radius < 0 {
+		return "", 0, false
+	}
+	if opts.DisableFilter || opts.Engine == EngineExact {
+		return "", 0, false
+	}
+	maxD := opts.radius(bits)
+	engine = stripeEngineFor(opts.Engine, support, bits, maxD)
+	w := cost.Workload{Support: support, Bits: bits, Radius: maxD, TopM: opts.TopM}
+	d, modeled := cost.Active().PredictShardedDuration(engine, w, stripes)
+	if !modeled {
+		return engine, 0, false
+	}
+	return engine, d, true
+}
+
 // Calibrate measures this process's registered engines on synthetic
 // workloads, refits the cost model's constants from the live samples, and
 // installs the refined model for every subsequent auto selection and

@@ -48,6 +48,48 @@ func TestPredictCostRejectsDegenerate(t *testing.T) {
 	}
 }
 
+// TestPredictShardCost pins the shard-side admission bridge: stripe-capable
+// resolutions are modeled, unshardable shapes are not, and the crossover the
+// serve layer keys on (sharded cheaper than local only at scale) holds under
+// the default model.
+func TestPredictShardCost(t *testing.T) {
+	engine, _, ok := PredictShardCost(Options{}, 100_000, 20, 4)
+	if !ok || !cost.StripeCapable(engine) {
+		t.Fatalf("PredictShardCost(auto) = %q, %v; want stripe-capable engine, ok", engine, ok)
+	}
+	if eng, _, ok := PredictShardCost(Options{Engine: EngineBucketed}, 4000, 20, 4); !ok || eng != EngineBucketed {
+		t.Fatalf("bucketed pin resolved to %q, %v", eng, ok)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+		n    int
+		bits int
+		s    int
+	}{
+		{"disable filter", Options{DisableFilter: true}, 4000, 20, 4},
+		{"exact pin", Options{Engine: EngineExact}, 4000, 20, 4},
+		{"zero support", Options{}, 0, 20, 4},
+		{"zero stripes", Options{}, 4000, 20, 0},
+	} {
+		if _, _, ok := PredictShardCost(tc.opts, tc.n, tc.bits, tc.s); ok {
+			t.Errorf("%s: PredictShardCost claimed shardable", tc.name)
+		}
+	}
+	// Crossover: local wins small, sharded wins large (matching the
+	// internal/cost pins, but through the options-resolution path).
+	_, localSmall, _ := PredictCost(Options{Engine: EngineBlocked}, 500, 20)
+	_, shardSmall, _ := PredictShardCost(Options{Engine: EngineBlocked}, 500, 20, 4)
+	if shardSmall <= localSmall {
+		t.Fatalf("sharding 500 outcomes predicted cheaper (%v) than local (%v)", shardSmall, localSmall)
+	}
+	_, localLarge, _ := PredictCost(Options{Engine: EngineBlocked}, 100_000, 20)
+	_, shardLarge, _ := PredictShardCost(Options{Engine: EngineBlocked}, 100_000, 20, 4)
+	if shardLarge >= localLarge {
+		t.Fatalf("sharding 100k outcomes predicted slower (%v) than local (%v)", shardLarge, localLarge)
+	}
+}
+
 // TestCalibrateRefines runs the real measurer on a deliberately small grid
 // and checks the refit yields a valid model that still predicts positive,
 // finite cost for every batch engine — the contract serving startup relies

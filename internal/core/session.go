@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"slices"
+	"sync/atomic"
 
 	"repro/internal/bitstr"
 	"repro/internal/cost"
@@ -43,6 +44,13 @@ type Scratch struct {
 	// rows, so workers cannot share the A matrix).
 	slabs   [][]float64
 	slabBuf []float64
+
+	// Stripe-sharded reduction state: the pair-balanced rank partition and
+	// the per-internal-node arrival latches of the reduction tree
+	// (reduce.go). Both are rebuilt in place per call, so a warmed-up
+	// session pays no allocation for either.
+	plan    *dist.StripePlan
+	latches []atomic.Int32
 }
 
 // growFloats returns buf resized to n, reallocating only when capacity is

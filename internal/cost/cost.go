@@ -86,10 +86,12 @@ type Coeffs struct {
 	PerAdmit    float64 `json:"per_admitted_pair_ns"`
 }
 
-// Model maps engine names onto their fitted constants. A Model is immutable
-// after construction; refits build a new one (see SetActive).
+// Model maps engine names onto their fitted constants, plus the shard
+// coordination constants (shard.go) pricing stripe-sharded runs. A Model is
+// immutable after construction; refits build a new one (see SetActive).
 type Model struct {
 	Engines map[string]Coeffs `json:"engines"`
+	Shard   ShardCoeffs       `json:"shard,omitempty"`
 }
 
 // Predict returns the predicted reconstruction time in nanoseconds for one

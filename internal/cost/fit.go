@@ -18,7 +18,7 @@ type Sample struct {
 // coefficients unchanged. Coefficients are clamped non-negative so the
 // monotonicity contract of Predict survives any sample set.
 func Fit(base *Model, samples []Sample) *Model {
-	m := &Model{Engines: make(map[string]Coeffs, len(base.Engines))}
+	m := &Model{Engines: make(map[string]Coeffs, len(base.Engines)), Shard: base.shardCoeffs()}
 	for name, c := range base.Engines {
 		m.Engines[name] = c
 	}
@@ -152,7 +152,7 @@ func DefaultModel() *Model {
 			Setup: 1000, PerOutcome: 60,
 			PerCand: 33.7, PerAdmit: 0,
 		},
-	}}
+	}, Shard: DefaultShardCoeffs()}
 }
 
 // Validate sanity-checks a model: every coefficient finite and
@@ -172,6 +172,11 @@ func (m *Model) Validate() error {
 		}
 		if ns, _ := m.Predict(name, ref); ns <= 0 {
 			return fmt.Errorf("cost: engine %q predicts non-positive cost", name)
+		}
+	}
+	for _, v := range []float64{m.Shard.StripeSetup, m.Shard.PerOutcomeWire, m.Shard.MergePerLevel} {
+		if v < 0 || v != v || v > 1e15 {
+			return fmt.Errorf("cost: invalid shard coefficient %v", v)
 		}
 	}
 	return nil

@@ -22,6 +22,10 @@ type CoreEngineRun struct {
 	// so cross-host comparisons and the CI gate can verify they compare
 	// single-threaded numbers with single-threaded numbers.
 	Workers int `json:"workers"`
+	// GOMAXPROCS and CPUs record the producing host's scheduler width per
+	// run; zero in reports written before the fields existed.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	CPUs       int `json:"cpus"`
 }
 
 // CoreConfig mirrors one (support, radius) workload row.
@@ -40,6 +44,9 @@ type CoreReport struct {
 	Workers   int          `json:"workers"`
 	Configs   []CoreConfig `json:"configs"`
 	CPUs      int          `json:"cpus"`
+	// GOMAXPROCS is the producing host's scheduler width; zero in reports
+	// written before the field existed.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // StreamReport mirrors the BENCH_stream.json schema.
@@ -50,6 +57,8 @@ type StreamReport struct {
 	BatchShots         int    `json:"batch_shots"`
 	IncrementalNsPerOp int64  `json:"incremental_ns_per_op"`
 	BatchNsPerOp       int64  `json:"batch_ns_per_op"`
+	CPUs               int    `json:"cpus"`
+	GOMAXPROCS         int    `json:"gomaxprocs"`
 }
 
 // LoadCore parses a BENCH_core.json file.

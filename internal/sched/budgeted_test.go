@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDoBudgetedInfeasible rejects work whose predicted runtime alone
+// exceeds its deadline, before taking a slot.
+func TestDoBudgetedInfeasible(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = s.DoBudgeted(context.Background(), "stripe", time.Hour, time.Now().Add(10*time.Millisecond), func(context.Context) error {
+		ran = true
+		return nil
+	})
+	var de *DeadlineError
+	if !errors.As(err, &de) || !de.Infeasible {
+		t.Fatalf("err = %v, want infeasible *DeadlineError", err)
+	}
+	if de.Engine != "stripe" {
+		t.Fatalf("engine label %q, want %q", de.Engine, "stripe")
+	}
+	if ran {
+		t.Fatal("infeasible work ran anyway")
+	}
+}
+
+// TestDoBudgetedOverloaded rejects feasible work as overloaded when no slot
+// frees inside the admission window.
+func TestDoBudgetedOverloaded(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = s.Do(context.Background(), func() error {
+			close(started)
+			<-hold
+			return nil
+		})
+	}()
+	<-started
+	defer close(hold)
+	err = s.DoBudgeted(context.Background(), "stripe", 80*time.Millisecond, time.Now().Add(120*time.Millisecond), func(context.Context) error {
+		return nil
+	})
+	var de *DeadlineError
+	if !errors.As(err, &de) || de.Infeasible {
+		t.Fatalf("err = %v, want overloaded *DeadlineError", err)
+	}
+}
+
+// TestDoBudgetedRuns admits feasible work, bounds fn's context by the
+// deadline, and returns fn's error.
+func TestDoBudgetedRuns(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	sentinel := errors.New("sentinel")
+	err = s.DoBudgeted(context.Background(), "stripe", time.Millisecond, deadline, func(ctx context.Context) error {
+		d, ok := ctx.Deadline()
+		if !ok || !d.Equal(deadline) {
+			t.Fatalf("fn context deadline = %v (%v), want %v", d, ok, deadline)
+		}
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	// Zero deadline and zero prediction reduce to plain Do.
+	if err := s.DoBudgeted(context.Background(), "", 0, time.Time{}, func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			t.Fatal("unexpected deadline on unbudgeted context")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoBudgetedCallerCancelWins reports the caller's own cancellation as a
+// context error, not a deadline rejection.
+func TestDoBudgetedCallerCancelWins(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_ = s.Do(context.Background(), func() error {
+			close(started)
+			<-hold
+			return nil
+		})
+	}()
+	<-started
+	defer close(hold)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err = s.DoBudgeted(ctx, "stripe", time.Millisecond, time.Now().Add(time.Minute), func(context.Context) error {
+		return nil
+	})
+	var de *DeadlineError
+	if errors.As(err, &de) {
+		t.Fatalf("caller cancellation misreported as deadline rejection: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -176,6 +176,58 @@ func (s *Scheduler) Do(ctx context.Context, fn func() error) error {
 	return fn()
 }
 
+// DoBudgeted runs fn inside one worker slot with the exact deadline
+// admission Reconstruct applies, for reconstruction-shaped work whose cost
+// the caller predicted itself — a shard coordinator's fan-out, a replica's
+// stripe scan. A positive predicted duration ranks the slot wait under
+// PolicySPJF and drives admission against the deadline: predicted-infeasible
+// work is rejected before taking a slot (infeasible *DeadlineError, with
+// engine as its label), and feasible work waits for a slot only until
+// deadline−predicted before being rejected as overloaded. Zero predicted
+// means unpredicted work (no admission, deadline-bounded slot wait only);
+// a zero deadline disables admission entirely, reducing to Do. fn receives
+// a context bounded by the deadline.
+func (s *Scheduler) DoBudgeted(ctx context.Context, engine string, predicted time.Duration, deadline time.Time, fn func(ctx context.Context) error) error {
+	predNs := int64(predUnknown)
+	predOK := predicted > 0
+	if predOK {
+		predNs = int64(predicted)
+	}
+	actx := ctx // context bounding the slot wait
+	if !deadline.IsZero() {
+		startBy := deadline
+		if predOK {
+			remaining := time.Until(deadline)
+			if predicted >= remaining {
+				s.countDeadline("infeasible")
+				return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: remaining, Infeasible: true}
+			}
+			startBy = deadline.Add(-predicted)
+		}
+		var cancel context.CancelFunc
+		actx, cancel = context.WithDeadline(ctx, startBy)
+		defer cancel()
+	}
+	taken, err := s.acquire(actx, predNs)
+	if err != nil {
+		// Distinguish "the admission window closed" from the caller's own
+		// context dying: only the former is a deadline rejection.
+		if !deadline.IsZero() && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
+			s.countDeadline("overloaded")
+			return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: time.Until(deadline)}
+		}
+		return err
+	}
+	defer s.release(taken)
+	rctx := ctx // the run itself may use the full time up to the deadline
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+	return fn(rctx)
+}
+
 // Request is one unit of scheduler work: the input distribution plus optional
 // per-request option overrides. A nil Opts serves the request with the
 // scheduler's default options; a non-nil Opts is served by reconfiguring the
@@ -241,63 +293,32 @@ func (s *Scheduler) predict(req Request) (engine string, d time.Duration, ok boo
 // into a response inside consume is the intended shape).
 func (s *Scheduler) Reconstruct(ctx context.Context, req Request, consume func(*core.Result) error) error {
 	engine, predicted, predOK := s.predict(req)
-	predNs := int64(predUnknown)
-	if predOK {
-		predNs = int64(predicted)
+	if !predOK {
+		predicted = 0 // DoBudgeted treats non-positive as unpredicted
 	}
-	actx := ctx // context bounding the slot wait
-	if !req.Deadline.IsZero() {
-		startBy := req.Deadline
-		if predOK {
-			remaining := time.Until(req.Deadline)
-			if predicted >= remaining {
-				s.countDeadline("infeasible")
-				return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: remaining, Infeasible: true}
+	return s.DoBudgeted(ctx, engine, predicted, req.Deadline, func(rctx context.Context) error {
+		sess := s.pool.Get().(*core.Session)
+		defer s.pool.Put(sess)
+		if err := s.prepare(sess, req.Opts); err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := sess.Reconstruct(rctx, req.In)
+		if err != nil {
+			return err
+		}
+		if m := s.metrics; m != nil && predOK {
+			actual := time.Since(start).Seconds()
+			// Label by the engine that actually ran; PredictCost mirrors the
+			// session's resolution, so it matches the predicted engine.
+			m.PredictedSeconds.Observe(predicted.Seconds(), res.Engine)
+			m.ActualSeconds.Observe(actual, res.Engine)
+			if p := predicted.Seconds(); p > 0 {
+				m.ErrorRatio.Observe(actual/p, res.Engine)
 			}
-			startBy = req.Deadline.Add(-predicted)
 		}
-		var cancel context.CancelFunc
-		actx, cancel = context.WithDeadline(ctx, startBy)
-		defer cancel()
-	}
-	taken, err := s.acquire(actx, predNs)
-	if err != nil {
-		// Distinguish "the admission window closed" from the caller's own
-		// context dying: only the former is a deadline rejection.
-		if !req.Deadline.IsZero() && ctx.Err() == nil && errors.Is(err, context.DeadlineExceeded) {
-			s.countDeadline("overloaded")
-			return &DeadlineError{Engine: engine, Predicted: predicted, Remaining: time.Until(req.Deadline)}
-		}
-		return err
-	}
-	defer s.release(taken)
-	sess := s.pool.Get().(*core.Session)
-	defer s.pool.Put(sess)
-	if err := s.prepare(sess, req.Opts); err != nil {
-		return err
-	}
-	rctx := ctx // the run itself may use the full time up to the deadline
-	if !req.Deadline.IsZero() {
-		var cancel context.CancelFunc
-		rctx, cancel = context.WithDeadline(ctx, req.Deadline)
-		defer cancel()
-	}
-	start := time.Now()
-	res, err := sess.Reconstruct(rctx, req.In)
-	if err != nil {
-		return err
-	}
-	if m := s.metrics; m != nil && predOK {
-		actual := time.Since(start).Seconds()
-		// Label by the engine that actually ran; PredictCost mirrors the
-		// session's resolution, so it matches the predicted engine.
-		m.PredictedSeconds.Observe(predicted.Seconds(), res.Engine)
-		m.ActualSeconds.Observe(actual, res.Engine)
-		if p := predicted.Seconds(); p > 0 {
-			m.ErrorRatio.Observe(actual/p, res.Engine)
-		}
-	}
-	return consume(res)
+		return consume(res)
+	})
 }
 
 func (s *Scheduler) countDeadline(reason string) {
