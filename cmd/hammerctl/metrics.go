@@ -11,6 +11,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // Observability for hammerctl serve: every metric the server exports lives
@@ -35,14 +36,16 @@ type serverMetrics struct {
 	sched *sched.Metrics
 	serve *serve.Metrics
 	shard shard.Metrics
+	wal   *wal.Metrics
 	http  httpMetrics
 }
 
 // newServerMetrics registers the full metric set. The session-manager gauge
 // and the cache instruments read through the provided callback/cache only at
-// scrape time; a nil cache reads as zeros — the "caching disabled"
-// rendering.
-func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult]) *serverMetrics {
+// scrape time; a nil cache or nil l2 store reads as zeros — the "disabled"
+// rendering. The hammer_wal_* counters are always registered; without a
+// journal nothing increments them.
+func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult], l2 *cache.Dir) *serverMetrics {
 	reg := obs.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -78,6 +81,22 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult]) *serverMetr
 			Fallbacks: reg.CounterVec("hammer_shard_fallback_total",
 				"Stripes recomputed locally after their replica failed, by reason (error = RPC/decode failure, deadline = cost-model budget miss).", "reason"),
 		},
+		wal: &wal.Metrics{
+			Appends: reg.Counter("hammer_wal_appends_total",
+				"Ingest batches appended to session write-ahead logs."),
+			AppendedBytes: reg.Counter("hammer_wal_appended_bytes_total",
+				"Bytes appended to session write-ahead logs (compaction rewrites not included)."),
+			Compactions: reg.Counter("hammer_wal_compactions_total",
+				"Session logs folded into histogram snapshots."),
+			Pruned: reg.Counter("hammer_wal_pruned_total",
+				"Session logs removed because their session was deleted or TTL-evicted."),
+			RecoveredSessions: reg.Counter("hammer_wal_recovered_sessions_total",
+				"Sessions rebuilt from the journal at startup."),
+			TornTails: reg.Counter("hammer_wal_torn_tails_total",
+				"Logs whose torn tail (partial trailing record) was truncated during recovery."),
+			CorruptLogs: reg.Counter("hammer_wal_corrupt_logs_total",
+				"Logs quarantined at recovery because no valid prefix survived."),
+		},
 		http: httpMetrics{
 			requests: reg.CounterVec("hammer_http_requests_total",
 				"HTTP requests served, by endpoint and status class.", "endpoint", "code"),
@@ -102,6 +121,17 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult]) *serverMetr
 	reg.GaugeFunc("hammer_cache_capacity",
 		"Result-cache entry capacity (-cache-entries; 0 = caching disabled).",
 		func() float64 { return float64(c.Capacity()) })
+	reg.CounterFunc("hammer_cache_l2_hits_total",
+		"Reconstruction requests served from the file-backed second-level cache.", l2.Hits)
+	reg.CounterFunc("hammer_cache_l2_misses_total",
+		"Second-level cache lookups that found nothing.", l2.Misses)
+	reg.CounterFunc("hammer_cache_l2_puts_total",
+		"Entries written to the second-level cache.", l2.Puts)
+	reg.CounterFunc("hammer_cache_l2_errors_total",
+		"Second-level cache operations dropped on I/O failure or malformed key.", l2.Errors)
+	reg.GaugeFunc("hammer_cache_l2_entries",
+		"Entries currently held in the second-level cache (counted by directory walk at scrape time).",
+		func() float64 { return float64(l2.Len()) })
 	return m
 }
 

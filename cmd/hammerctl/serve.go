@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // maxRequestBytes bounds one HTTP request body. A histogram entry is ~30
@@ -51,6 +53,9 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	calibrate := fs.Bool("calibrate", false, "re-fit the engine cost model on this host before serving (a few seconds of micro-benchmarks)")
 	replicas := fs.String("replicas", "", "comma-separated stripe replica base URLs (host:port or full URL); enables the shard coordinator on /v1/reconstruct")
 	shardMinSupport := fs.Int("shard-min-support", 0, "shard every reconstruction with at least this many outcomes instead of letting the cost model decide (0 = cost model)")
+	dataDir := fs.String("data", "", "data directory for durable streaming sessions (write-ahead shot logs, replayed on startup); empty = in-memory sessions only")
+	walSync := fs.String("wal-sync", wal.SyncAlways.String(), "journal durability: always (fsync per ingest) or never (page cache; survives SIGKILL, not power loss)")
+	cacheDir := fs.String("cache-dir", "", "directory for the file-backed second-level result cache (shared across restarts); empty = L1 only")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -65,13 +70,14 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	}
 	// In serve mode -workers is the request-level concurrency of the shared
 	// scheduler, exactly RunBatch's reading of Config.Workers.
-	srv, err := newServerPolicy(*cfg, cfg.Workers, *schedPolicy, serve.Config{
+	srv, err := newServerFull(*cfg, cfg.Workers, *schedPolicy, serve.Config{
 		MaxSessions: *maxSessions,
 		TTL:         ttl,
-	}, *cacheEntries)
+	}, *cacheEntries, durableConfig{dataDir: *dataDir, walSync: *walSync, cacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	if *replicas != "" {
 		if err := srv.enableSharding(splitReplicas(*replicas), *shardMinSupport); err != nil {
 			return err
@@ -122,6 +128,13 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if srv.coord != nil {
 		fmt.Fprintf(stdout, "hammerctl: shard coordinator enabled (%d replicas)\n", srv.coord.NumReplicas())
 	}
+	if srv.journal != nil {
+		fmt.Fprintf(stdout, "hammerctl: durable sessions in %s (wal-sync %s, %d recovered)\n",
+			*dataDir, srv.journal.Sync(), srv.recovered)
+	}
+	if srv.l2 != nil {
+		fmt.Fprintf(stdout, "hammerctl: second-level result cache in %s (%d entries)\n", *cacheDir, srv.l2.Len())
+	}
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
 	return hs.Serve(ln)
 }
@@ -147,6 +160,17 @@ type server struct {
 	// re-encoding on the hot path — and still reports X-Hammer-Engine.
 	cache   *cache.LRU[cachedResult]
 	metrics *serverMetrics
+	// l2 is the optional second-level result cache (-cache-dir): any
+	// cache.Backend, concretely the file-backed cache.Dir, consulted on L1
+	// misses and written alongside L1 so entries survive restarts. Entries
+	// frame the engine name with the rendered body (l2Encode), keeping hits
+	// byte-identical to the miss that stored them.
+	l2 cache.Backend
+	// journal, when non-nil (-data), is the wal store behind the session
+	// manager; the server closes it when Serve returns. recovered is the
+	// session count Recover rebuilt at startup, surfaced in /healthz.
+	journal   *wal.Store
+	recovered int
 	// coord, when non-nil (-replicas), fans large /v1/reconstruct requests
 	// out as pair-balanced stripes to replica servers; see shardserve.go.
 	coord *shard.Coordinator
@@ -187,16 +211,59 @@ func newServerWith(cfg hammer.Config, workers int, sc serve.Config, cacheEntries
 // (the -sched flag): "" or "fifo" grants slots in arrival order, "spjf" by
 // shortest model-predicted runtime.
 func newServerPolicy(cfg hammer.Config, workers int, policy string, sc serve.Config, cacheEntries int) (*server, error) {
+	return newServerFull(cfg, workers, policy, sc, cacheEntries, durableConfig{})
+}
+
+// durableConfig carries the durability flags: a data directory enables the
+// write-ahead session journal, a cache directory the file-backed second-level
+// result cache. Both empty is the in-memory-only server.
+type durableConfig struct {
+	// dataDir is -data: the journal's root (sessions/ is created under it).
+	dataDir string
+	// walSync is -wal-sync: "always" (fsync per append; default) or "never"
+	// (page cache; survives SIGKILL but not power loss).
+	walSync string
+	// cacheDir is -cache-dir: the second-level result cache's root.
+	cacheDir string
+}
+
+// newServerFull is the complete constructor: scheduler, session manager,
+// both cache tiers, journal, and metrics. With a data directory it also
+// replays the journal, so the returned server already holds every session a
+// previous process journaled (minus deleted/evicted ones, whose logs were
+// pruned). The caller owns srv.Close.
+func newServerFull(cfg hammer.Config, workers int, policy string, sc serve.Config, cacheEntries int, dc durableConfig) (*server, error) {
 	sch, err := hammer.NewSchedulerPolicy(cfg, workers, policy)
+	if err != nil {
+		return nil, err
+	}
+	var journal *wal.Store
+	if dc.dataDir != "" {
+		sync, err := wal.ParseSyncPolicy(dc.walSync)
+		if err != nil {
+			return nil, err
+		}
+		journal, err = wal.Open(dc.dataDir, wal.Options{Sync: sync})
+		if err != nil {
+			return nil, err
+		}
+		sc.Journal = journal
+	}
+	l2, err := cache.NewDir(dc.cacheDir)
 	if err != nil {
 		return nil, err
 	}
 	c := cache.New[cachedResult](cacheEntries)
 	mgr := serve.NewManager(sc)
-	m := newServerMetrics(mgr.Len, c)
+	m := newServerMetrics(mgr.Len, c, l2)
 	sch.Instrument(m.sched)
 	mgr.Instrument(m.serve)
-	srv := &server{sch: sch, mgr: mgr, base: cfg, cache: c, metrics: m}
+	srv := &server{sch: sch, mgr: mgr, base: cfg, cache: c, metrics: m, journal: journal}
+	if l2 != nil {
+		// Guarded assignment: a typed-nil *cache.Dir in the interface would
+		// make healthz report an L2 that is not there.
+		srv.l2 = l2
+	}
 	srv.stripeSessions.New = func() any {
 		sess, err := core.NewSession(core.Options{Workers: 1})
 		if err != nil {
@@ -205,7 +272,26 @@ func newServerPolicy(cfg hammer.Config, workers int, policy string, sc serve.Con
 		}
 		return sess
 	}
+	if journal != nil {
+		// Instrumented above, so recovery shows up in hammer_wal_*.
+		journal.Instrument(m.wal)
+		n, err := mgr.Recover()
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		srv.recovered = n
+	}
 	return srv, nil
+}
+
+// Close releases the server's durable resources (the journal's open logs).
+// In-flight requests must have drained first.
+func (s *server) Close() error {
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
 }
 
 // mux registers the routes. Patterns use net/http's 1.22+ wildcard syntax,
@@ -315,7 +401,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.coord != nil {
 		replicas = s.coord.NumReplicas()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	health := map[string]any{
 		"ok":           true,
 		"workers":      s.sch.Workers(),
 		"engine":       engineLabel(s.sch.Options().Engine),
@@ -323,7 +409,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"sessions":     s.mgr.Len(),
 		"max_sessions": s.mgr.MaxSessions(),
 		"replicas":     replicas,
-	})
+		// Durability: whether sessions survive a restart, how many the
+		// running process replayed at startup, and whether a second-level
+		// result cache is attached.
+		"durable":            s.journal != nil,
+		"recovered_sessions": s.recovered,
+		"cache_l2":           s.l2 != nil,
+	}
+	if s.journal != nil {
+		health["wal_sync"] = s.journal.Sync().String()
+	}
+	writeJSON(w, http.StatusOK, health)
 }
 
 func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
@@ -352,7 +448,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	// {"counts": ...} spellings of one request share an entry. Cached
 	// responses are immutable by contract: handlers only marshal them.
 	var key string
-	if s.cache != nil {
+	if s.cache != nil || s.l2 != nil {
 		eff := s.sch.Options()
 		if opts != nil {
 			eff = *opts
@@ -363,6 +459,24 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(cacheHeader, cacheHit)
 			writeJSONBytes(w, http.StatusOK, cached.Body)
 			return
+		}
+		if s.l2 != nil {
+			if raw, ok := s.l2.Get(key); ok {
+				if engine, cbody, ok := l2Decode(raw); ok {
+					// Promote into L1 so the next identical request skips
+					// the disk; the stored bytes are written verbatim, so an
+					// L2 hit is byte-identical to the miss that filled it.
+					if len(cbody) <= maxCachedResponseBytes {
+						s.cache.Put(key, cachedResult{Body: cbody, Engine: engine})
+					}
+					w.Header().Set(engineHeader, engine)
+					w.Header().Set(cacheHeader, cacheHitL2)
+					writeJSONBytes(w, http.StatusOK, cbody)
+					return
+				}
+				// An undecodable entry (foreign writer, torn by an external
+				// tool) degrades to a miss, which overwrites it below.
+			}
 		}
 	}
 	in, _, err := dist.FromHistogram(rr.counts)
@@ -402,7 +516,7 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.Header().Set(engineHeader, resp.Engine)
-	if s.cache == nil {
+	if key == "" {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -416,12 +530,33 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 	// Outsized responses (a histogram near the 32 MiB body cap renders to
 	// tens of MiB) are served but not stored, or -cache-entries such bodies
 	// would bound tens of GiB of memory instead of the documented
-	// entries × 1 MiB worst case.
+	// entries × 1 MiB worst case. The same cap bounds per-entry L2 disk use.
 	if len(body) <= maxCachedResponseBytes {
 		s.cache.Put(key, cachedResult{Body: body, Engine: resp.Engine})
+		if s.l2 != nil {
+			s.l2.Put(key, l2Encode(resp.Engine, body))
+		}
 	}
 	w.Header().Set(cacheHeader, cacheMiss)
 	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// l2Encode frames one second-level cache entry: uvarint engine-name length,
+// the engine name, then the rendered response body verbatim.
+func l2Encode(engine string, body []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, 2+len(engine)+len(body)), uint64(len(engine)))
+	out = append(out, engine...)
+	return append(out, body...)
+}
+
+// l2Decode is l2Encode's inverse; ok=false means the entry is malformed and
+// the caller should treat the lookup as a miss.
+func l2Decode(raw []byte) (engine string, body []byte, ok bool) {
+	n, m := binary.Uvarint(raw)
+	if m <= 0 || n > uint64(len(raw)-m) {
+		return "", nil, false
+	}
+	return string(raw[m : m+int(n)]), raw[m+int(n):], true
 }
 
 // maxCachedResponseBytes caps one cached response body (~20k outcomes at
@@ -435,6 +570,7 @@ const maxCachedResponseBytes = 1 << 20
 const (
 	cacheHeader = "X-Hammer-Cache"
 	cacheHit    = "hit"
+	cacheHitL2  = "hit-l2"
 	cacheMiss   = "miss"
 )
 

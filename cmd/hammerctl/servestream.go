@@ -13,6 +13,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/serve"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // The /v1/stream handlers: live streaming sessions over the serving layer.
@@ -80,7 +81,8 @@ type streamDeleteResponse struct {
 
 // streamStatus maps session errors onto status codes: unknown or evicted
 // sessions are 404, id collisions and empty-session snapshots 409, the
-// session cap 429; the rest defer to statusFor — 499 when the client
+// session cap 429, a write-ahead-log failure 500 (the server's disk, not the
+// client's input); the rest defer to statusFor — 499 when the client
 // disconnected while the work ran, 400 for bad input.
 func streamStatus(r *http.Request, err error) int {
 	switch {
@@ -90,6 +92,8 @@ func streamStatus(r *http.Request, err error) int {
 		return http.StatusConflict
 	case errors.Is(err, serve.ErrFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrJournal):
+		return http.StatusInternalServerError
 	default:
 		return statusFor(r, err)
 	}
@@ -265,7 +269,8 @@ func (s *server) streamIngest(w http.ResponseWriter, r *http.Request, id string)
 	q := r.URL.Query().Get("snapshot")
 	wantSnapshot := q == "1" || q == "true"
 	var resp streamIngestResponse
-	err = s.mgr.Do(id, func(st *stream.Stream) error {
+	err = s.mgr.DoSession(id, func(sess *serve.Session) error {
+		st := sess.Stream()
 		ingest := func() error {
 			// Validate the whole batch before ingesting any of it, so a
 			// bad entry cannot leave the session half-updated.
@@ -290,6 +295,16 @@ func (s *server) streamIngest(w http.ResponseWriter, r *http.Request, id string)
 				if err := st.IngestN(parsed[i], e.k); err != nil {
 					return err
 				}
+			}
+			// Journal the acknowledged batch before acknowledging it: a
+			// Record failure turns the response into a 500, so a 200 always
+			// means the shots are as durable as -wal-sync promises.
+			pairs := make([]wal.Pair, len(entries))
+			for i, e := range entries {
+				pairs[i] = wal.Pair{X: parsed[i], K: e.k}
+			}
+			if err := sess.Record(pairs); err != nil {
+				return err
 			}
 			resp = streamIngestResponse{ID: id, Ingested: total, Shots: st.Shots(), Support: st.Support()}
 			if wantSnapshot {

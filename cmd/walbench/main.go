@@ -1,0 +1,210 @@
+// Command walbench measures the durability layer's headline numbers — how
+// fast a session write-ahead log replays at startup (shots folded per
+// second) and how much compaction shrinks a shot-by-shot log into its
+// create+snapshot form — and writes them as JSON so the perf trajectory
+// across PRs is machine-readable (BENCH_wal.json at the repository root
+// holds the last committed run).
+//
+// The run is self-gating: it exits non-zero if replay throughput or the
+// compaction ratio falls below the floors it reports, so CI needs no
+// out-of-band threshold file.
+//
+//	walbench -out BENCH_wal.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/wal"
+)
+
+// Floors the run gates itself on. Replay is uvarint decode plus a map fold —
+// single-digit millions of shots per second is leisurely even for CI
+// hardware — and a shot-by-shot log of shots >> support must compact by at
+// least this factor for "log size bounded by support" to mean anything.
+const (
+	minReplayShotsPerSec = 1e6
+	minCompactionRatio   = 5.0
+)
+
+// report is the BENCH_wal.json schema. ReplayNs covers one full ReplayBytes
+// pass over the uncompacted log; CompactionRatio is uncompacted bytes over
+// compacted bytes for the same session state.
+type report struct {
+	Benchmark            string  `json:"benchmark"`
+	Bits                 int     `json:"bits"`
+	Support              int     `json:"support"`
+	Shots                int     `json:"shots"`
+	BatchPairs           int     `json:"batch_pairs"`
+	LogBytes             int64   `json:"log_bytes"`
+	ReplayNs             int64   `json:"replay_ns_per_op"`
+	ReplayShotsPerSec    float64 `json:"replay_shots_per_sec"`
+	MinReplayShotsPerSec float64 `json:"min_replay_shots_per_sec"`
+	CompactedBytes       int64   `json:"compacted_bytes"`
+	CompactionRatio      float64 `json:"compaction_ratio"`
+	MinCompactionRatio   float64 `json:"min_compaction_ratio"`
+	GOOS                 string  `json:"goos"`
+	GOARCH               string  `json:"goarch"`
+	CPUs                 int     `json:"cpus"`
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_wal.json", "output file ('-' for stdout)")
+	bits := flag.Int("bits", 20, "outcome width")
+	support := flag.Int("support", 4000, "unique outcomes in the session")
+	shots := flag.Int("shots", 200000, "total shots journaled before replay")
+	batch := flag.Int("batch", 64, "pairs per appended batch record")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// SyncNever: the bench measures encode/replay/compact work, not the
+	// machine's fsync latency.
+	st, err := wal.Open(dir, wal.Options{Sync: wal.SyncNever})
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+	l, err := st.Create("bench", wal.SessionMeta{Width: *bits})
+	if err != nil {
+		fatal(err)
+	}
+
+	outcomes := pool(*bits, *support, 42)
+	hist := make(map[uint64]int, *support)
+	for written := 0; written < *shots; {
+		n := *batch
+		if rem := *shots - written; rem < n {
+			n = rem
+		}
+		pairs := make([]wal.Pair, n)
+		for i := range pairs {
+			x := outcomes[(written+i)%len(outcomes)]
+			pairs[i] = wal.Pair{X: x, K: 1}
+			hist[x]++
+		}
+		if err := l.Append(pairs); err != nil {
+			fatal(err)
+		}
+		written += n
+	}
+
+	path := filepath.Join(st.Dir(), "bench.wal")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	check := wal.ReplayBytes(raw)
+	if !check.HasMeta || check.Torn || check.Shots != *shots || len(check.Counts) != *support {
+		fatal(fmt.Errorf("self-check: replay of a clean log gave meta=%v torn=%v shots=%d support=%d",
+			check.HasMeta, check.Torn, check.Shots, len(check.Counts)))
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if r := wal.ReplayBytes(raw); r.Shots != *shots {
+				b.Fatalf("replay folded %d shots, want %d", r.Shots, *shots)
+			}
+		}
+	})
+	replayNs := res.NsPerOp()
+	shotsPerSec := float64(*shots) * 1e9 / float64(replayNs)
+
+	snap := make([]wal.Pair, 0, len(hist))
+	for x, k := range hist {
+		snap = append(snap, wal.Pair{X: x, K: k})
+	}
+	if err := l.Compact(snap); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		fatal(err)
+	}
+	compacted, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if r := wal.ReplayBytes(compacted); r.Shots != *shots || len(r.Counts) != *support {
+		fatal(fmt.Errorf("self-check: compacted log replays to shots=%d support=%d", r.Shots, len(r.Counts)))
+	}
+	ratio := float64(len(raw)) / float64(info.Size())
+
+	rep := report{
+		Benchmark:            "wal-replay-and-compaction",
+		Bits:                 *bits,
+		Support:              *support,
+		Shots:                *shots,
+		BatchPairs:           *batch,
+		LogBytes:             int64(len(raw)),
+		ReplayNs:             replayNs,
+		ReplayShotsPerSec:    shotsPerSec,
+		MinReplayShotsPerSec: minReplayShotsPerSec,
+		CompactedBytes:       info.Size(),
+		CompactionRatio:      ratio,
+		MinCompactionRatio:   minCompactionRatio,
+		GOOS:                 runtime.GOOS,
+		GOARCH:               runtime.GOARCH,
+		CPUs:                 runtime.NumCPU(),
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "replay %.2fM shots/s (%d ns/pass), compaction %.1fx (%d -> %d bytes)\n",
+		shotsPerSec/1e6, replayNs, ratio, rep.LogBytes, rep.CompactedBytes)
+	if shotsPerSec < minReplayShotsPerSec {
+		fatal(fmt.Errorf("replay %.0f shots/s below floor %.0f", shotsPerSec, float64(minReplayShotsPerSec)))
+	}
+	if ratio < minCompactionRatio {
+		fatal(fmt.Errorf("compaction ratio %.2f below floor %.2f", ratio, minCompactionRatio))
+	}
+}
+
+// pool returns exactly n distinct outcomes of the given width, deterministic
+// in the seed.
+func pool(bits, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	mask := uint64(1)<<uint(bits) - 1
+	if bits >= 64 {
+		mask = ^uint64(0)
+	}
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		x := rng.Uint64() & mask
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "walbench:", err)
+	os.Exit(1)
+}

@@ -27,4 +27,13 @@
 //   - Nil safety. A nil *LRU — the "caching disabled" configuration — is
 //     fully usable: Get always misses without counting, Put is a no-op, and
 //     the accessors return zero.
+//
+// Tiering: Backend is the store contract both the LRU (instantiated at
+// []byte) and the file-backed Dir satisfy. The serving layer runs them as L1
+// and L2: a request checks the in-memory LRU first, then the directory store
+// (which survives restarts, and whose entries a fresh process re-serves and
+// re-promotes into L1). Dir puts are temp-file + rename so a crash never
+// leaves a torn entry; keys are restricted to the exact hex-SHA-256 shape Key
+// emits, which is what makes them safe file names. A nil *Dir is the disabled
+// second level, mirroring the nil-LRU contract.
 package cache

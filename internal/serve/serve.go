@@ -20,6 +20,16 @@
 // creations and TTL evictions (explicit deletes are neither); the
 // live-session count is read on demand via Len, which the HTTP layer
 // exposes as a render-time gauge.
+//
+// Durability: with Config.Journal set, every session is backed by a
+// write-ahead shot log (internal/wal) — Create opens the log, the HTTP layer
+// appends each acknowledged ingest via Session.Record (which also folds the
+// log into a snapshot once it outgrows the session's support), and Recover
+// rebuilds the manager's sessions from the journal on startup. Delete and TTL
+// eviction remove the session's log, so an evicted session cannot be
+// resurrected by a later replay. Journal failures surface as ErrJournal: the
+// ingest was applied in memory but is not durable, and the HTTP layer reports
+// it as a server error.
 package serve
 
 import (
@@ -34,6 +44,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Defaults for Config's zero values.
@@ -52,6 +63,11 @@ var (
 	// ErrFull: the live-session cap is reached; delete a session (or let one
 	// idle out) before creating another.
 	ErrFull = errors.New("serve: session limit reached")
+	// ErrJournal: the session's write-ahead log failed. State already applied
+	// in memory stands, but it is not durable — the HTTP layer maps this to a
+	// server error so the client knows the acknowledgement is weaker than the
+	// configured durability.
+	ErrJournal = errors.New("serve: session journal failure")
 )
 
 // Config configures a Manager. The zero value serves.
@@ -67,6 +83,12 @@ type Config struct {
 
 	// Now overrides the clock, for tests. Nil means time.Now.
 	Now func() time.Time
+
+	// Journal, when non-nil, write-ahead-logs every session: Create opens a
+	// per-session log, Session.Record appends ingests, Delete and TTL
+	// eviction prune the log, and Recover rebuilds sessions from it. Nil
+	// means in-memory sessions only (the pre-durability behavior).
+	Journal *wal.Store
 }
 
 // Metrics is the manager's optional instrumentation. The live-session count
@@ -86,8 +108,9 @@ type Metrics struct {
 type Session struct {
 	id string
 
-	mu sync.Mutex
-	st *stream.Stream
+	mu  sync.Mutex
+	st  *stream.Stream
+	log *wal.Log // nil when the manager has no journal
 
 	// lastUsed and busy are guarded by the Manager's lock (not mu):
 	// lastUsed is stamped on lookup and again when the request completes,
@@ -102,11 +125,44 @@ type Session struct {
 // ID returns the session's name.
 func (s *Session) ID() string { return s.id }
 
+// Stream returns the session's stream. Only valid inside Manager.DoSession,
+// which holds the session's mutex; the stream must not be retained past the
+// callback's return.
+func (s *Session) Stream() *stream.Stream { return s.st }
+
+// Record journals one acknowledged ingest batch: the pairs are appended to
+// the session's write-ahead log, and once the pairs logged since the last
+// fold outgrow the session's support the log is compacted down to a snapshot
+// of the stream's accumulated histogram. Call it inside Manager.DoSession,
+// after the stream mutation succeeded — log order must equal ingest order,
+// and both run under the session mutex. A no-op without a journal; failures
+// wrap ErrJournal.
+func (s *Session) Record(pairs []wal.Pair) error {
+	if s.log == nil {
+		return nil
+	}
+	if err := s.log.Append(pairs); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	if !s.log.ShouldCompact(s.st.Support()) {
+		return nil
+	}
+	hist := make([]wal.Pair, 0, s.st.Support())
+	s.st.Counts().Range(func(x uint64, k int) {
+		hist = append(hist, wal.Pair{X: x, K: k})
+	})
+	if err := s.log.Compact(hist); err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	return nil
+}
+
 // Manager owns the live sessions. Safe for concurrent use.
 type Manager struct {
 	max     int
 	ttl     time.Duration
 	now     func() time.Time
+	journal *wal.Store
 	metrics *Metrics
 
 	mu       sync.Mutex
@@ -128,9 +184,13 @@ func NewManager(cfg Config) *Manager {
 		max:      cfg.MaxSessions,
 		ttl:      cfg.TTL,
 		now:      cfg.Now,
+		journal:  cfg.Journal,
 		sessions: make(map[string]*Session),
 	}
 }
+
+// Durable reports whether sessions are journaled.
+func (m *Manager) Durable() bool { return m.journal != nil }
 
 // Instrument attaches the optional lifecycle counters (nil fields are safe;
 // a nil *Metrics disables instrumentation). Call it after NewManager and
@@ -201,6 +261,17 @@ func (m *Manager) Create(id string, width int, opts core.Options) (*Session, err
 		return nil, fmt.Errorf("%w (%d live)", ErrFull, len(m.sessions))
 	}
 	s := &Session{id: id, st: st, lastUsed: m.now()}
+	if m.journal != nil {
+		// The log is opened under the manager lock so the id reservation and
+		// its on-disk file appear together. A leftover file for this id (not
+		// recovered, so not a live session) is a journal fault, not a client
+		// collision.
+		log, err := m.journal.Create(id, metaFromOptions(width, opts))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+		s.log = log
+	}
 	m.sessions[id] = s
 	if m.metrics != nil {
 		m.metrics.Created.Inc()
@@ -217,6 +288,14 @@ func (m *Manager) Create(id string, width int, opts core.Options) (*Session, err
 // idle. An explicit Delete still wins: it removes the session from the map
 // immediately, and the in-flight fn merely finishes on the detached stream.
 func (m *Manager) Do(id string, fn func(*stream.Stream) error) error {
+	return m.DoSession(id, func(s *Session) error { return fn(s.st) })
+}
+
+// DoSession is Do for callers that also need the session itself — in
+// practice the HTTP layer, which journals acknowledged ingests via
+// Session.Record between the stream mutation and the callback's return. The
+// locking and eviction-immunity contract is exactly Do's.
+func (m *Manager) DoSession(id string, fn func(*Session) error) error {
 	m.mu.Lock()
 	m.sweepLocked()
 	s, ok := m.sessions[id]
@@ -236,11 +315,14 @@ func (m *Manager) Do(id string, fn func(*stream.Stream) error) error {
 	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return fn(s.st)
+	return fn(s)
 }
 
-// Delete removes a session. Unknown ids are ErrNotFound. A request already
-// inside Do on the session finishes normally; later requests get ErrNotFound.
+// Delete removes a session and prunes its journal log, so a later restart
+// cannot resurrect it. Unknown ids are ErrNotFound. A request already inside
+// Do on the session finishes normally; later requests get ErrNotFound. A
+// failed prune is ErrJournal — the in-memory delete stands, but the operator
+// should know a stale log remains on disk.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -249,6 +331,11 @@ func (m *Manager) Delete(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	delete(m.sessions, id)
+	if m.journal != nil {
+		if err := m.journal.Remove(id); err != nil {
+			return fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
 	return nil
 }
 
@@ -283,6 +370,14 @@ func (m *Manager) sweepLocked() int {
 	for id, s := range m.sessions {
 		if s.busy == 0 && s.lastUsed.Before(deadline) {
 			delete(m.sessions, id)
+			if m.journal != nil {
+				// Tombstone the evicted session's log: without this, a
+				// restart would replay the log and resurrect a session the
+				// TTL already declared dead. Best-effort — the wal store
+				// counts successful prunes, and a failure here must not
+				// block the sweep.
+				m.journal.Remove(id)
+			}
 			evicted++
 		}
 	}
@@ -290,6 +385,82 @@ func (m *Manager) sweepLocked() int {
 		m.metrics.Evicted.Add(uint64(evicted))
 	}
 	return evicted
+}
+
+// Recover rebuilds sessions from the manager's journal: every log the wal
+// store replays becomes a live session holding the replayed shots, with its
+// idle clock starting now. Call it once, after NewManager and before the
+// manager starts serving — it is not synchronized against concurrent
+// operations. Recovery intentionally ignores MaxSessions: the sessions were
+// admitted under the cap when created, and durable state outranks the cap on
+// the way back up (Create still enforces it for new sessions). Returns the
+// number of sessions recovered; a no-op without a journal.
+//
+// Torn logs and corrupt files were already handled by the wal layer
+// (truncated and quarantined respectively); the only errors left here are a
+// meta that no longer maps onto core options — written by a different
+// version, or tampered with — which fail recovery loudly rather than
+// silently dropping durable state.
+func (m *Manager) Recover() (int, error) {
+	if m.journal == nil {
+		return 0, nil
+	}
+	recovered, err := m.journal.Recover()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	now := m.now()
+	for _, rec := range recovered {
+		opts, err := optionsFromMeta(rec.Meta)
+		if err != nil {
+			return 0, fmt.Errorf("%w: session %q: %v", ErrJournal, rec.ID, err)
+		}
+		st, err := stream.New(rec.Meta.Width, opts)
+		if err != nil {
+			return 0, fmt.Errorf("%w: session %q: %v", ErrJournal, rec.ID, err)
+		}
+		for _, p := range rec.Counts {
+			if err := st.IngestN(p.X, p.K); err != nil {
+				return 0, fmt.Errorf("%w: session %q: %v", ErrJournal, rec.ID, err)
+			}
+		}
+		m.sessions[rec.ID] = &Session{id: rec.ID, st: st, log: rec.Log, lastUsed: now}
+	}
+	return len(recovered), nil
+}
+
+// metaFromOptions maps a session's creation parameters onto the journal's
+// create record. Weights and Engine travel as canonical strings so the log
+// survives enum renumbering; Workers is parallelism, not session state, and
+// is deliberately dropped.
+func metaFromOptions(width int, opts core.Options) wal.SessionMeta {
+	return wal.SessionMeta{
+		Width:         width,
+		Radius:        opts.Radius,
+		Weights:       opts.Weights.String(),
+		DisableFilter: opts.DisableFilter,
+		TopM:          opts.TopM,
+		Engine:        opts.Engine,
+	}
+}
+
+// optionsFromMeta is the inverse mapping, applied on recovery. Workers is
+// pinned to 1, matching the facade's StreamOptions pin for live sessions
+// (snapshot results are identical at any worker count; sessions keep the
+// single-threaded reference behavior).
+func optionsFromMeta(meta wal.SessionMeta) (core.Options, error) {
+	weights, err := core.ParseWeightScheme(meta.Weights)
+	if err != nil {
+		return core.Options{}, err
+	}
+	return core.Options{
+		Radius:        meta.Radius,
+		Weights:       weights,
+		DisableFilter: meta.DisableFilter,
+		TopM:          meta.TopM,
+		Engine:        meta.Engine,
+		Workers:       1,
+	}, nil
 }
 
 // freshIDLocked draws a random 8-byte hex id not currently in use.

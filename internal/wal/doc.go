@@ -1,0 +1,52 @@
+// Package wal is the durability layer under the serving spine's streaming
+// sessions: an append-only, length-prefixed, CRC-checked shot log per named
+// session, written on every ingest and replayed on startup, so a restarted
+// (or SIGKILLed, or drained) server reconstructs identical stream state from
+// its data directory.
+//
+// # On-disk format
+//
+// A Store owns one directory; each session's log is sessions/<id>.wal (ids
+// are already restricted to [A-Za-z0-9._-] by the serving layer, so the id
+// is a safe file name). A log is a sequence of framed records:
+//
+//	[4-byte little-endian payload length][4-byte CRC-32C of payload][payload]
+//
+// The payload's first byte is the record type; the body follows:
+//
+//	create   (0x01)  JSON-encoded SessionMeta — always the first record
+//	batch    (0x02)  uvarint pair count, then (uvarint outcome, uvarint k)*
+//	snapshot (0x03)  uvarint entry count, then (uvarint outcome, uvarint k)*
+//
+// Replay folds records in order: create fixes the session's width and
+// options, a batch accumulates counts, and a snapshot replaces the
+// accumulated histogram wholesale (it is a compaction point, not a delta).
+// Every record is validated structurally (frame CRC, payload bounds) and
+// semantically (outcomes within the declared width, positive counts); replay
+// stops at the first invalid byte, keeps everything before it, and reports
+// the torn tail — a crash mid-append loses at most the record being written.
+//
+// # Compaction
+//
+// Without compaction a long-lived stream's log grows with total shots
+// ingested. Log.Compact atomically rewrites the log as create + snapshot
+// (write temp file, fsync, rename over the live log), and ShouldCompact
+// triggers it once the pairs appended since the last fold exceed
+// CompactFactor x the session's support (floored at MinCompactPairs) — so
+// steady-state log size is bounded by support size, not shot count.
+//
+// # Sync policy
+//
+// SyncAlways (the default) fsyncs after every append: an acknowledged ingest
+// survives power loss. SyncNever leaves appends in the OS page cache: they
+// still survive a process crash or SIGKILL (the write(2) completed), but not
+// a host crash. Compaction's temp-write/fsync/rename is durable under either
+// policy — a crash mid-compaction leaves the old log intact.
+//
+// # Concurrency
+//
+// A Store is safe for concurrent use across sessions; a Log serializes its
+// own appends internally, but callers (the serve layer) already hold the
+// session lock across ingest+append, which is what keeps the log's record
+// order equal to the stream's ingest order.
+package wal

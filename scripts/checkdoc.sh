@@ -2,7 +2,7 @@
 # checkdoc.sh — fail if any exported top-level symbol in a gated package
 # lacks a doc comment. Gated: the root hammer package (the public API
 # documented in README/docs) plus the spine packages whose doc.go contracts
-# the architecture docs lean on (internal/obs, internal/cache).
+# the architecture docs lean on (internal/obs, internal/cache, internal/wal).
 # A deliberately small grep-shaped gate: it inspects top-level
 # `func`/`type`/`var`/`const` declarations (including members of grouped
 # `var (`/`const (`/`type (` blocks) beginning with an exported identifier
@@ -10,7 +10,7 @@
 # root.
 set -eu
 status=0
-for f in ./*.go ./internal/obs/*.go ./internal/cache/*.go; do
+for f in ./*.go ./internal/obs/*.go ./internal/cache/*.go ./internal/wal/*.go; do
     case "$f" in
     *_test.go) continue ;;
     esac
