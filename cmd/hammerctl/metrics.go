@@ -38,6 +38,9 @@ type serverMetrics struct {
 	shard shard.Metrics
 	wal   *wal.Metrics
 	http  httpMetrics
+	// quota counts requests rejected by per-client quotas, by reason ("rate"
+	// = token-bucket rate limit, "sessions" = per-client session cap).
+	quota *obs.CounterVec
 }
 
 // newServerMetrics registers the full metric set. The session-manager gauge
@@ -72,6 +75,10 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult], l2 *cache.D
 				"Streaming sessions created."),
 			Evicted: reg.Counter("hammer_sessions_evicted_total",
 				"Streaming sessions evicted by the idle TTL."),
+			Adopted: reg.Counter("hammer_sessions_adopted_total",
+				"Streaming sessions adopted whole from a peer's handoff."),
+			HandedOff: reg.Counter("hammer_sessions_handed_off_total",
+				"Streaming sessions shipped to a peer and tombstoned here."),
 		},
 		shard: shard.Metrics{
 			StripeSeconds: reg.Histogram("hammer_shard_stripe_seconds",
@@ -96,7 +103,11 @@ func newServerMetrics(mgrLen func() int, c *cache.LRU[cachedResult], l2 *cache.D
 				"Logs whose torn tail (partial trailing record) was truncated during recovery."),
 			CorruptLogs: reg.Counter("hammer_wal_corrupt_logs_total",
 				"Logs quarantined at recovery because no valid prefix survived."),
+			Imported: reg.Counter("hammer_wal_imported_total",
+				"Session logs imported whole from a peer handoff."),
 		},
+		quota: reg.CounterVec("hammer_quota_rejected_total",
+			"Requests rejected by per-client quotas, by reason (rate = token-bucket rate limit, sessions = per-client live-session cap).", "reason"),
 		http: httpMetrics{
 			requests: reg.CounterVec("hammer_http_requests_total",
 				"HTTP requests served, by endpoint and status class.", "endpoint", "code"),

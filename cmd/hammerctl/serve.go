@@ -12,7 +12,10 @@ import (
 	"mime"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	hammer "repro"
@@ -40,6 +43,8 @@ const maxRequestBytes = 32 << 20
 //	POST   /v1/stream/{id}/shots  ingest shots (optional ?snapshot=1)
 //	GET    /v1/stream/{id}        snapshot of everything ingested so far
 //	DELETE /v1/stream/{id}        delete the session
+//	POST   /v1/stream/{id}/handoff adopt a session a draining peer ships
+//	GET    /v1/cache/{key}        local cache entry, raw (peer L3 probes)
 //	GET    /healthz               {"ok": true, ...}
 //	GET    /metrics               Prometheus text format (docs/operations.md)
 func runServe(args []string, stdout, stderr io.Writer) error {
@@ -56,6 +61,12 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	dataDir := fs.String("data", "", "data directory for durable streaming sessions (write-ahead shot logs, replayed on startup); empty = in-memory sessions only")
 	walSync := fs.String("wal-sync", wal.SyncAlways.String(), "journal durability: always (fsync per ingest) or never (page cache; survives SIGKILL, not power loss)")
 	cacheDir := fs.String("cache-dir", "", "directory for the file-backed second-level result cache (shared across restarts); empty = L1 only")
+	peers := fs.String("peers", "", "comma-separated peer replica base URLs whose result caches are probed as an L3 tier on local misses")
+	peerTimeout := fs.Duration("peer-timeout", 0, "per-probe budget for peer cache lookups (0 = built-in default)")
+	drainTo := fs.String("drain-to", "", "peer base URL to hand live streaming sessions off to on SIGINT/SIGTERM (graceful drain); empty = exit without draining")
+	quotaRPS := fs.Float64("quota-rps", 0, "per-client request rate limit on the client-facing endpoints (0 = no rate limit); rejections are 429 with Retry-After")
+	quotaBurst := fs.Int("quota-burst", 0, "per-client burst allowance on top of -quota-rps (0 = max(1, ceil(rps)))")
+	quotaSessions := fs.Int("quota-sessions", 0, "cap on live streaming sessions per client (0 = no per-client cap; anonymous sessions exempt)")
 	cfg := configFlags(fs)
 	if help, err := parseFlags(fs, args); help || err != nil {
 		return err
@@ -71,8 +82,9 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	// In serve mode -workers is the request-level concurrency of the shared
 	// scheduler, exactly RunBatch's reading of Config.Workers.
 	srv, err := newServerFull(*cfg, cfg.Workers, *schedPolicy, serve.Config{
-		MaxSessions: *maxSessions,
-		TTL:         ttl,
+		MaxSessions:       *maxSessions,
+		MaxClientSessions: *quotaSessions,
+		TTL:               ttl,
 	}, *cacheEntries, durableConfig{dataDir: *dataDir, walSync: *walSync, cacheDir: *cacheDir})
 	if err != nil {
 		return err
@@ -82,6 +94,14 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 		if err := srv.enableSharding(splitReplicas(*replicas), *shardMinSupport); err != nil {
 			return err
 		}
+	}
+	if err := srv.enableFleet(fleetConfig{
+		peers:       splitReplicas(*peers),
+		peerTimeout: *peerTimeout,
+		quotaRPS:    *quotaRPS,
+		quotaBurst:  *quotaBurst,
+	}); err != nil {
+		return err
 	}
 	if *calibrate {
 		// Replace the committed-benchmark constants with ones timed on this
@@ -135,8 +155,34 @@ func runServe(args []string, stdout, stderr io.Writer) error {
 	if srv.l2 != nil {
 		fmt.Fprintf(stdout, "hammerctl: second-level result cache in %s (%d entries)\n", *cacheDir, srv.l2.Len())
 	}
+	if srv.peers != nil {
+		fmt.Fprintf(stdout, "hammerctl: peer cache tier enabled (%d peers)\n", srv.peers.NumPeers())
+	}
 	hs := &http.Server{Handler: srv.mux(), ReadHeaderTimeout: 10 * time.Second}
-	return hs.Serve(ln)
+	if *drainTo == "" {
+		return hs.Serve(ln)
+	}
+	// Graceful drain: on SIGINT/SIGTERM, stop accepting requests, let the
+	// in-flight ones finish, then ship every live session to the drain peer.
+	// Sessions that fail to ship stay journaled locally for the next start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "hammerctl: shutdown: %v\n", err)
+		}
+		n, err := srv.drainSessions(shutCtx, *drainTo)
+		fmt.Fprintf(stdout, "hammerctl: drained %d sessions to %s\n", n, *drainTo)
+		return err
+	}
 }
 
 func engineLabel(name string) string {
@@ -174,6 +220,12 @@ type server struct {
 	// coord, when non-nil (-replicas), fans large /v1/reconstruct requests
 	// out as pair-balanced stripes to replica servers; see shardserve.go.
 	coord *shard.Coordinator
+	// peers, when non-nil (-peers), probes peer replicas' caches as an L3
+	// tier behind l2; limiter, when non-nil (-quota-rps), rate-limits the
+	// client-facing routes per client. Both are wired by enableFleet
+	// (servefleet.go).
+	peers   *cache.Peers
+	limiter *serve.Limiter
 	// stripeSessions pools the Workers:1 sessions /v1/shard/reconstruct and
 	// the coordinator's local stripe fallback score on (ScoreStripe ignores
 	// session options — the spec fully describes the work).
@@ -302,14 +354,20 @@ func (s *server) Close() error {
 // error envelope and are counted.
 func (s *server) mux() *http.ServeMux {
 	mux := http.NewServeMux()
+	// The quota middleware wraps only the client-facing routes: health,
+	// metrics, and the intra-fleet endpoints (shard stripes, peer cache
+	// probes, handoff adoption) must keep working while clients are being
+	// throttled, or a throttled fleet could not rebalance or be scraped.
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
-	mux.HandleFunc("/v1/reconstruct", s.instrument(s.handleReconstruct))
+	mux.HandleFunc("/v1/reconstruct", s.instrument(s.quota(s.handleReconstruct)))
 	mux.HandleFunc("/v1/shard/reconstruct", s.instrument(s.handleShardReconstruct))
-	mux.HandleFunc("/v1/batch", s.instrument(s.handleBatch))
-	mux.HandleFunc("/v1/stream", s.instrument(s.handleStreamCreate))
-	mux.HandleFunc("/v1/stream/{id}", s.instrument(s.handleStreamByID))
-	mux.HandleFunc("/v1/stream/{id}/shots", s.instrument(s.handleStreamShots))
+	mux.HandleFunc("/v1/batch", s.instrument(s.quota(s.handleBatch)))
+	mux.HandleFunc("/v1/stream", s.instrument(s.quota(s.handleStreamCreate)))
+	mux.HandleFunc("/v1/stream/{id}", s.instrument(s.quota(s.handleStreamByID)))
+	mux.HandleFunc("/v1/stream/{id}/shots", s.instrument(s.quota(s.handleStreamShots)))
+	mux.HandleFunc("/v1/stream/{id}/handoff", s.instrument(s.handleStreamHandoff))
+	mux.HandleFunc("/v1/cache/{key}", s.instrument(s.handleCacheGet))
 	mux.HandleFunc("/", s.instrument(s.handleNotFound))
 	return mux
 }
@@ -415,6 +473,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"durable":            s.journal != nil,
 		"recovered_sessions": s.recovered,
 		"cache_l2":           s.l2 != nil,
+		// Fleet: how many peer replicas back the L3 cache tier, and whether
+		// per-client quotas are active.
+		"peers":               s.peers.NumPeers(),
+		"quota_rps":           s.limiter != nil,
+		"max_client_sessions": s.mgr.MaxClientSessions(),
 	}
 	if s.journal != nil {
 		health["wal_sync"] = s.journal.Sync().String()
@@ -476,6 +539,27 @@ func (s *server) handleReconstruct(w http.ResponseWriter, r *http.Request) {
 				}
 				// An undecodable entry (foreign writer, torn by an external
 				// tool) degrades to a miss, which overwrites it below.
+			}
+		}
+		// L3: peer replicas' caches. The keys are replica-portable by
+		// construction, so a peer's entry is byte-identical to what this
+		// server would have computed; a hit is promoted into L1 and L2 so
+		// the next identical request never leaves the process. Strictly
+		// best-effort — a dead fleet degrades this to a miss.
+		if s.peers != nil {
+			if raw, ok := s.peers.Get(key); ok {
+				if engine, cbody, ok := l2Decode(raw); ok {
+					if len(cbody) <= maxCachedResponseBytes {
+						s.cache.Put(key, cachedResult{Body: cbody, Engine: engine})
+						if s.l2 != nil {
+							s.l2.Put(key, raw)
+						}
+					}
+					w.Header().Set(engineHeader, engine)
+					w.Header().Set(cacheHeader, cacheHitPeer)
+					writeJSONBytes(w, http.StatusOK, cbody)
+					return
+				}
 			}
 		}
 	}

@@ -33,6 +33,11 @@ type streamCreateRequest struct {
 	// Config optionally overrides the server's base configuration for this
 	// session, with the same shape as /v1/reconstruct's "config".
 	Config *wireConfig `json:"config"`
+	// Client optionally names the owning client for per-client session
+	// quotas, overriding the X-Hammer-Client header (and the remote-IP
+	// fallback). The owner is journaled with the session, so quotas survive
+	// restart and handoff.
+	Client string `json:"client"`
 }
 
 type streamCreateResponse struct {
@@ -90,7 +95,7 @@ func streamStatus(r *http.Request, err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, serve.ErrExists), errors.Is(err, errEmptyStream):
 		return http.StatusConflict
-	case errors.Is(err, serve.ErrFull):
+	case errors.Is(err, serve.ErrFull), errors.Is(err, serve.ErrClientFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrJournal):
 		return http.StatusInternalServerError
@@ -119,8 +124,21 @@ func (s *server) handleStreamCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, -1, err)
 		return
 	}
-	sess, err := s.mgr.Create(req.ID, req.Width, opts)
+	owner := req.Client
+	if owner == "" {
+		owner = clientID(r)
+	}
+	if len(owner) > maxClientBytes {
+		owner = owner[:maxClientBytes]
+	}
+	sess, err := s.mgr.CreateOwned(req.ID, owner, req.Width, opts)
 	if err != nil {
+		if errors.Is(err, serve.ErrClientFull) {
+			// The per-client session quota refills only when a session ends;
+			// 1 second is the polling floor, not a promise.
+			s.metrics.quota.Inc("sessions")
+			w.Header().Set("Retry-After", "1")
+		}
 		writeError(w, streamStatus(r, err), -1, err)
 		return
 	}

@@ -58,10 +58,11 @@ func NewDir(dir string) (*Dir, error) {
 	return &Dir{root: dir}, nil
 }
 
-// validKey reports whether key is a plausible Key output: exactly 64
+// ValidKey reports whether key is a plausible Key output: exactly 64
 // lowercase hex characters. This is what makes the key safe to use as a file
-// name with no further escaping.
-func validKey(key string) bool {
+// name (Dir) or a URL path segment (Peers, and the serving layer's
+// /v1/cache/{key} endpoint) with no further escaping.
+func ValidKey(key string) bool {
 	if len(key) != 64 {
 		return false
 	}
@@ -73,6 +74,9 @@ func validKey(key string) bool {
 	}
 	return true
 }
+
+// validKey is ValidKey under its original package-internal name.
+func validKey(key string) bool { return ValidKey(key) }
 
 // path returns the sharded file path for a valid key.
 func (d *Dir) path(key string) string {

@@ -28,12 +28,16 @@
 //     fully usable: Get always misses without counting, Put is a no-op, and
 //     the accessors return zero.
 //
-// Tiering: Backend is the store contract both the LRU (instantiated at
-// []byte) and the file-backed Dir satisfy. The serving layer runs them as L1
-// and L2: a request checks the in-memory LRU first, then the directory store
-// (which survives restarts, and whose entries a fresh process re-serves and
-// re-promotes into L1). Dir puts are temp-file + rename so a crash never
-// leaves a torn entry; keys are restricted to the exact hex-SHA-256 shape Key
-// emits, which is what makes them safe file names. A nil *Dir is the disabled
-// second level, mirroring the nil-LRU contract.
+// Tiering: Backend is the store contract the LRU (instantiated at []byte),
+// the file-backed Dir, and the network Peers probe all satisfy. The serving
+// layer runs them as L1, L2, and L3: a request checks the in-memory LRU
+// first, then the directory store (which survives restarts), then — because
+// the canonical keys are replica-portable — its peer replicas' caches over
+// HTTP, promoting any lower-tier hit back into L1/L2. Dir puts are temp-file
+// + rename so a crash never leaves a torn entry; keys are restricted to the
+// exact hex-SHA-256 shape Key emits (ValidKey), which is what makes them safe
+// file names and URL path segments. Peers is strictly best-effort: every
+// failure class degrades to a miss, and a peer that keeps failing is skipped
+// for a cooldown window rather than probed on every request. A nil *Dir or
+// nil *Peers is a disabled tier, mirroring the nil-LRU contract.
 package cache

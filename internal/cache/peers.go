@@ -1,0 +1,272 @@
+package cache
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Peers defaults; see PeersConfig for what each bounds.
+const (
+	// DefaultProbeTimeout bounds one peer probe. A peer slower than this is
+	// slower than recomputing most responses locally, so the probe is
+	// abandoned and counted as an error.
+	DefaultProbeTimeout = 150 * time.Millisecond
+	// DefaultErrorThreshold is how many consecutive probe failures mark a
+	// peer down.
+	DefaultErrorThreshold = 3
+	// DefaultCooldown is how long a down peer is skipped before it is probed
+	// again.
+	DefaultCooldown = 5 * time.Second
+	// MaxPeerEntryBytes caps one fetched entry (the serving layer never
+	// stores entries over ~1 MiB, so anything bigger is a corrupt or hostile
+	// response, rejected without buffering it all).
+	MaxPeerEntryBytes = 4 << 20
+)
+
+// PeersConfig assembles a Peers backend.
+type PeersConfig struct {
+	// Peers are the replica base URLs to probe, already normalized
+	// (shard.NormalizePeers): scheme present, no trailing slash.
+	Peers []string
+	// Client issues the probes; nil uses a dedicated client (per-probe
+	// timeouts come from Timeout, not the client).
+	Client *http.Client
+	// Timeout bounds each individual probe (0 = DefaultProbeTimeout).
+	Timeout time.Duration
+	// ErrorThreshold is the consecutive-failure count that marks a peer down
+	// (0 = DefaultErrorThreshold).
+	ErrorThreshold int
+	// Cooldown is how long a down peer is skipped before the next probe
+	// retries it (0 = DefaultCooldown).
+	Cooldown time.Duration
+	// Now overrides the clock, for tests. Nil means time.Now.
+	Now func() time.Time
+}
+
+// peerState is one peer's health bookkeeping, guarded by Peers.mu.
+type peerState struct {
+	consecutiveErrs int
+	downUntil       time.Time
+}
+
+// Peers is a network cache.Backend: Get probes peer replicas' GET
+// /v1/cache/{key} endpoints and returns the first hit, so a fleet shares
+// result-cache entries (the canonical SHA-256 keys are replica-portable by
+// construction). It is strictly best-effort and read-only:
+//
+//   - Every failure — malformed key, transport error, timeout, torn or
+//     oversized body, non-200/404 status — degrades to a miss. A request must
+//     never fail because a peer is down.
+//   - A peer that fails ErrorThreshold consecutive probes is marked down and
+//     skipped until Cooldown passes, so a dead replica costs one timeout per
+//     cooldown window instead of one per request.
+//   - Put and Len are no-ops: each replica fills its own cache from its own
+//     misses, and pushing entries to peers would multiply write traffic
+//     without improving the hit path.
+//
+// A nil *Peers is the disabled backend. Safe for concurrent use.
+type Peers struct {
+	peers   []string
+	client  *http.Client
+	timeout time.Duration
+	thresh  int
+	cool    time.Duration
+	now     func() time.Time
+
+	mu    sync.Mutex
+	state []peerState
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	errs    atomic.Uint64
+	skipped atomic.Uint64
+}
+
+var _ Backend = (*Peers)(nil)
+
+// NewPeers returns a peer-probing backend over the given base URLs. An empty
+// list returns nil — the disabled backend.
+func NewPeers(cfg PeersConfig) *Peers {
+	if len(cfg.Peers) == 0 {
+		return nil
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultProbeTimeout
+	}
+	thresh := cfg.ErrorThreshold
+	if thresh <= 0 {
+		thresh = DefaultErrorThreshold
+	}
+	cool := cfg.Cooldown
+	if cool <= 0 {
+		cool = DefaultCooldown
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Peers{
+		peers:   append([]string(nil), cfg.Peers...),
+		client:  client,
+		timeout: timeout,
+		thresh:  thresh,
+		cool:    cool,
+		now:     now,
+		state:   make([]peerState, len(cfg.Peers)),
+	}
+}
+
+// Get probes the peers in order and returns the first entry found. Keys that
+// are not canonical 64-hex Key outputs never reach the wire: they miss
+// locally, so a hostile key cannot escape into a request path.
+func (p *Peers) Get(key string) ([]byte, bool) {
+	if p == nil {
+		return nil, false
+	}
+	if !ValidKey(key) {
+		p.misses.Add(1)
+		return nil, false
+	}
+	for i := range p.peers {
+		if !p.usable(i) {
+			p.skipped.Add(1)
+			continue
+		}
+		val, hit, err := p.probe(i, key)
+		if err != nil {
+			p.errs.Add(1)
+			p.noteError(i)
+			continue
+		}
+		p.noteOK(i)
+		if hit {
+			p.hits.Add(1)
+			return val, true
+		}
+	}
+	p.misses.Add(1)
+	return nil, false
+}
+
+// probe issues one GET /v1/cache/{key} against peer i. A 200 is a hit, a 404
+// a clean miss; anything else — transport failure, timeout, unexpected
+// status, a body over MaxPeerEntryBytes or shorter than its declared length —
+// is an error the health bookkeeping counts.
+func (p *Peers) probe(i int, key string) (val []byte, hit bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.peers[i]+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, MaxPeerEntryBytes+1))
+		if err != nil {
+			return nil, false, err
+		}
+		if len(b) > MaxPeerEntryBytes {
+			return nil, false, fmt.Errorf("cache: peer entry exceeds %d bytes", MaxPeerEntryBytes)
+		}
+		return b, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		// Drain a little so the connection can be reused, then fail.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 256))
+		return nil, false, fmt.Errorf("cache: peer %s: %s", p.peers[i], resp.Status)
+	}
+}
+
+// usable reports whether peer i should be probed now (not in cooldown).
+func (p *Peers) usable(i int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.now().Before(p.state[i].downUntil)
+}
+
+// noteError records one failed probe; crossing the threshold starts the
+// peer's cooldown.
+func (p *Peers) noteError(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.state[i].consecutiveErrs++
+	if p.state[i].consecutiveErrs >= p.thresh {
+		p.state[i].downUntil = p.now().Add(p.cool)
+		p.state[i].consecutiveErrs = 0
+	}
+}
+
+// noteOK resets peer i's failure streak after any answered probe (a 404 is
+// an answer: the peer is healthy, it just lacks the entry).
+func (p *Peers) noteOK(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.state[i].consecutiveErrs = 0
+	p.state[i].downUntil = time.Time{}
+}
+
+// Put is a no-op: Peers is a read-through tier. Each replica fills its own
+// L1/L2 from its own misses, and the caller promotes peer hits locally.
+func (p *Peers) Put(key string, val []byte) {}
+
+// Len returns 0: remote entry counts are not knowable without a fleet scan,
+// and the Backend contract only needs Len for local sizing gauges.
+func (p *Peers) Len() int { return 0 }
+
+// NumPeers returns the configured peer count (0 on a nil Peers).
+func (p *Peers) NumPeers() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.peers)
+}
+
+// Hits returns the monotonic peer-hit count (0 on a nil Peers).
+func (p *Peers) Hits() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.hits.Load()
+}
+
+// Misses returns the monotonic count of Gets no peer could serve (0 on a nil
+// Peers).
+func (p *Peers) Misses() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.misses.Load()
+}
+
+// Errors returns the monotonic count of failed probes (0 on a nil Peers).
+func (p *Peers) Errors() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.errs.Load()
+}
+
+// Skipped returns the monotonic count of probes suppressed because the peer
+// was in cooldown (0 on a nil Peers).
+func (p *Peers) Skipped() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.skipped.Load()
+}

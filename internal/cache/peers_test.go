@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fleettest"
+)
+
+// peerKey returns a distinct valid 64-hex key per suffix byte.
+func peerKey(b byte) string {
+	return strings.Repeat("0", 62) + "0" + string([]byte{hexDigit(b)})
+}
+
+func hexDigit(b byte) byte {
+	const digits = "0123456789abcdef"
+	return digits[b%16]
+}
+
+func TestPeersHitAndOrder(t *testing.T) {
+	empty := fleettest.New(fleettest.Config{})
+	defer empty.Close()
+	full := fleettest.New(fleettest.Config{})
+	defer full.Close()
+	key := peerKey(1)
+	want := []byte("entry-bytes")
+	full.SetEntry(key, want)
+
+	p := NewPeers(PeersConfig{Peers: []string{empty.URL(), full.URL()}})
+	got, ok := p.Get(key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("Get = %q, %v; want %q hit", got, ok, want)
+	}
+	if p.Hits() != 1 || p.Errors() != 0 {
+		t.Errorf("hits %d errors %d", p.Hits(), p.Errors())
+	}
+	// The empty peer answered 404 before the full one hit — a clean miss
+	// that probes onward, not an error.
+	if empty.CacheGets() != 1 || full.CacheGets() != 1 {
+		t.Errorf("probes: empty %d, full %d", empty.CacheGets(), full.CacheGets())
+	}
+	if _, ok := p.Get(peerKey(2)); ok {
+		t.Fatal("hit on absent key")
+	}
+	if p.Misses() != 1 {
+		t.Errorf("misses %d", p.Misses())
+	}
+}
+
+func TestPeersInvalidKeyNeverReachesWire(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	defer peer.Close()
+	p := NewPeers(PeersConfig{Peers: []string{peer.URL()}})
+	for _, key := range []string{"", "short", strings.Repeat("Z", 64), strings.Repeat("a", 63), "../../../../etc/passwd"} {
+		if _, ok := p.Get(key); ok {
+			t.Errorf("hit on invalid key %q", key)
+		}
+	}
+	if peer.CacheGets() != 0 {
+		t.Errorf("invalid keys reached the peer: %d probes", peer.CacheGets())
+	}
+}
+
+func TestPeersErrorDegradeAndCooldown(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	defer peer.Close()
+	peer.FailNext(1000)
+	clock := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return clock
+	}
+	p := NewPeers(PeersConfig{
+		Peers:          []string{peer.URL()},
+		ErrorThreshold: 2,
+		Cooldown:       5 * time.Second,
+		Now:            now,
+	})
+	key := peerKey(3)
+	// Two failing probes cross the threshold; every Get still degrades to a
+	// clean miss.
+	for i := 0; i < 2; i++ {
+		if _, ok := p.Get(key); ok {
+			t.Fatal("hit from a failing peer")
+		}
+	}
+	if p.Errors() != 2 {
+		t.Fatalf("errors = %d, want 2", p.Errors())
+	}
+	// In cooldown: no probe reaches the peer.
+	before := peer.CacheGets()
+	if _, ok := p.Get(key); ok {
+		t.Fatal("hit while peer down")
+	}
+	if peer.CacheGets() != before || p.Skipped() == 0 {
+		t.Errorf("cooldown probe leaked: gets %d->%d, skipped %d", before, peer.CacheGets(), p.Skipped())
+	}
+	// Past the cooldown the peer heals and serves again.
+	mu.Lock()
+	clock = clock.Add(6 * time.Second)
+	mu.Unlock()
+	peer.FailNext(0)
+	peer.SetEntry(key, []byte("healed"))
+	got, ok := p.Get(key)
+	if !ok || string(got) != "healed" {
+		t.Fatalf("post-cooldown Get = %q, %v", got, ok)
+	}
+}
+
+func TestPeersDeadPeerDegrades(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	url := peer.URL()
+	peer.Close()
+	p := NewPeers(PeersConfig{Peers: []string{url}, Timeout: 200 * time.Millisecond})
+	if _, ok := p.Get(peerKey(4)); ok {
+		t.Fatal("hit from a dead peer")
+	}
+	if p.Errors() != 1 || p.Misses() != 1 {
+		t.Errorf("errors %d misses %d", p.Errors(), p.Misses())
+	}
+}
+
+func TestPeersTornResponseIsError(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{Torn: true})
+	defer peer.Close()
+	key := peerKey(5)
+	peer.SetEntry(key, []byte("this body will be torn mid-flight"))
+	p := NewPeers(PeersConfig{Peers: []string{peer.URL()}})
+	if _, ok := p.Get(key); ok {
+		t.Fatal("torn response surfaced as a hit")
+	}
+	if p.Errors() != 1 {
+		t.Errorf("errors = %d, want 1", p.Errors())
+	}
+}
+
+func TestPeersSeededErrorRate(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{ErrorRate: 0.5, Seed: 42})
+	defer peer.Close()
+	key := peerKey(6)
+	peer.SetEntry(key, []byte("flaky"))
+	p := NewPeers(PeersConfig{Peers: []string{peer.URL()}, ErrorThreshold: 1 << 30})
+	hits, misses := 0, 0
+	for i := 0; i < 40; i++ {
+		if _, ok := p.Get(key); ok {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	// A 50% error rate must produce both outcomes, and every failure must
+	// have degraded to a miss rather than an error surfacing to the caller.
+	if hits == 0 || misses == 0 {
+		t.Errorf("hits %d misses %d under 50%% faults", hits, misses)
+	}
+	if p.Errors() == 0 {
+		t.Error("no errors counted under injected faults")
+	}
+}
+
+func TestPeersConcurrent(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{ErrorRate: 0.3, Seed: 7})
+	defer peer.Close()
+	key := peerKey(7)
+	peer.SetEntry(key, []byte("shared"))
+	p := NewPeers(PeersConfig{Peers: []string{peer.URL()}, ErrorThreshold: 2, Cooldown: time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				p.Get(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if total := p.Hits() + p.Misses(); total != 200 {
+		t.Errorf("hits+misses = %d, want 200", total)
+	}
+}
+
+func TestPeersNilAndEmpty(t *testing.T) {
+	if NewPeers(PeersConfig{}) != nil {
+		t.Fatal("empty peer list must return nil")
+	}
+	var p *Peers
+	if _, ok := p.Get(peerKey(8)); ok {
+		t.Fatal("nil Peers hit")
+	}
+	p.Put(peerKey(8), []byte("x"))
+	if p.Len() != 0 || p.NumPeers() != 0 || p.Hits() != 0 || p.Misses() != 0 || p.Errors() != 0 || p.Skipped() != 0 {
+		t.Fatal("nil Peers accessors must be zero")
+	}
+}

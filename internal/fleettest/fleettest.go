@@ -1,0 +1,210 @@
+// Package fleettest is the fault-injection harness the fleet tests share: an
+// httptest-backed fake peer replica serving the two intra-fleet endpoints —
+// GET /v1/cache/{key} and POST /v1/stream/{id}/handoff — with injectable
+// faults (deterministic seeded error rates, added latency, torn responses,
+// scripted failure bursts), so peer-cache degrade and handoff atomicity can
+// be exercised against every failure class a real fleet produces, under
+// -race, without a real fleet.
+package fleettest
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets a Peer's standing fault behavior; the zero value is a healthy
+// peer.
+type Config struct {
+	// ErrorRate is the probability in [0,1] that any request is answered
+	// with a 500 instead of being served, drawn from a generator seeded with
+	// Seed — the same seed replays the same fault sequence.
+	ErrorRate float64
+	// Seed seeds the fault generator (only read when ErrorRate > 0).
+	Seed int64
+	// Latency is added to every request before it is served, for timeout
+	// tests.
+	Latency time.Duration
+	// Torn makes every cache hit a torn response: a Content-Length larger
+	// than what is sent, the connection aborted mid-body.
+	Torn bool
+}
+
+// Peer is one fake replica. Create with New, point the code under test at
+// URL(), and inspect what it received afterward. All methods are safe for
+// concurrent use.
+type Peer struct {
+	srv *httptest.Server
+
+	mu            sync.Mutex
+	cfg           Config
+	rng           *rand.Rand
+	entries       map[string][]byte
+	adopted       map[string][]byte
+	failNext      int
+	rejectHandoff int
+	cacheGets     int
+	handoffs      int
+}
+
+// New starts a fake peer with cfg's standing faults. Close it when done.
+func New(cfg Config) *Peer {
+	p := &Peer{
+		cfg:     cfg,
+		entries: make(map[string][]byte),
+		adopted: make(map[string][]byte),
+	}
+	if cfg.ErrorRate > 0 {
+		p.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	p.srv = httptest.NewServer(http.HandlerFunc(p.handle))
+	return p
+}
+
+// URL returns the peer's base URL (no trailing slash).
+func (p *Peer) URL() string { return p.srv.URL }
+
+// Close shuts the peer down. A closed peer's URL answers nothing — the
+// "dead replica" fault.
+func (p *Peer) Close() { p.srv.Close() }
+
+// SetEntry installs raw as the peer's cache entry for key, served verbatim.
+func (p *Peer) SetEntry(key string, raw []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[key] = append([]byte(nil), raw...)
+}
+
+// Adopted returns the handoff payload received for id, if any.
+func (p *Peer) Adopted(id string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	raw, ok := p.adopted[id]
+	return raw, ok
+}
+
+// FailNext makes the next n requests fail with a 500 regardless of the
+// standing error rate — a scripted failure burst.
+func (p *Peer) FailNext(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failNext = n
+}
+
+// RejectHandoffs makes every handoff answer with status (0 restores
+// acceptance). Rejected payloads are not recorded as adopted.
+func (p *Peer) RejectHandoffs(status int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rejectHandoff = status
+}
+
+// CacheGets returns how many cache probes arrived (including faulted ones).
+func (p *Peer) CacheGets() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cacheGets
+}
+
+// Handoffs returns how many handoff posts arrived (including faulted ones).
+func (p *Peer) Handoffs() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.handoffs
+}
+
+// fault applies the standing and scripted faults; true means the request was
+// consumed by a fault and the handler must return.
+func (p *Peer) fault(w http.ResponseWriter) bool {
+	p.mu.Lock()
+	latency := p.cfg.Latency
+	failed := false
+	if p.failNext > 0 {
+		p.failNext--
+		failed = true
+	} else if p.rng != nil && p.rng.Float64() < p.cfg.ErrorRate {
+		failed = true
+	}
+	p.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if failed {
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return true
+	}
+	return false
+}
+
+func (p *Peer) handle(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/cache/"):
+		p.handleCacheGet(w, r)
+	case r.Method == http.MethodPost && strings.HasPrefix(r.URL.Path, "/v1/stream/") &&
+		strings.HasSuffix(r.URL.Path, "/handoff"):
+		p.handleHandoff(w, r)
+	default:
+		http.Error(w, "no such endpoint", http.StatusNotFound)
+	}
+}
+
+func (p *Peer) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.cacheGets++
+	p.mu.Unlock()
+	if p.fault(w) {
+		return
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/v1/cache/")
+	p.mu.Lock()
+	raw, ok := p.entries[key]
+	torn := p.cfg.Torn
+	p.mu.Unlock()
+	if !ok {
+		http.Error(w, "no entry", http.StatusNotFound)
+		return
+	}
+	if torn {
+		// Promise more bytes than arrive, send half, abort the connection:
+		// the client sees an unexpected EOF mid-body.
+		w.Header().Set("Content-Length", fmt.Sprint(len(raw)+64))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw[:len(raw)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(raw)
+}
+
+func (p *Peer) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	p.handoffs++
+	reject := p.rejectHandoff
+	p.mu.Unlock()
+	if p.fault(w) {
+		return
+	}
+	if reject != 0 {
+		http.Error(w, "handoff rejected", reject)
+		return
+	}
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/v1/stream/"), "/handoff")
+	p.mu.Lock()
+	p.adopted[id] = raw
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"id":%q,"adopted":true}`, id)
+}

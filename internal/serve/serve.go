@@ -63,6 +63,14 @@ var (
 	// ErrFull: the live-session cap is reached; delete a session (or let one
 	// idle out) before creating another.
 	ErrFull = errors.New("serve: session limit reached")
+	// ErrClientFull: the per-client live-session quota is reached. The server
+	// as a whole has room (that would be ErrFull); this client specifically
+	// must delete a session or wait for one to idle out.
+	ErrClientFull = errors.New("serve: per-client session limit reached")
+	// ErrBadHandoff: a shipped session log failed whole-file validation — a
+	// torn, truncated, or byte-flipped payload. Nothing was imported: handoff
+	// adoption is all-or-nothing by construction.
+	ErrBadHandoff = errors.New("serve: invalid handoff payload")
 	// ErrJournal: the session's write-ahead log failed. State already applied
 	// in memory stands, but it is not durable — the HTTP layer maps this to a
 	// server error so the client knows the acknowledgement is weaker than the
@@ -76,6 +84,13 @@ type Config struct {
 	// what bounds server memory: each incremental session pins O(support ·
 	// radius) engine state for its lifetime.
 	MaxSessions int
+
+	// MaxClientSessions caps live sessions per owning client (0 = no
+	// per-client cap). It subdivides MaxSessions so one client cannot pin
+	// every slot; anonymous sessions (empty owner) are exempt, and handoff
+	// adoption bypasses it — a draining peer's sessions were admitted under
+	// their own server's quota already.
+	MaxClientSessions int
 
 	// TTL is how long a session may sit idle — no ingest, snapshot, or
 	// lookup — before eviction (0 = DefaultTTL, negative = never evict).
@@ -100,13 +115,24 @@ type Metrics struct {
 	// Evicted counts sessions removed by TTL idle eviction (explicit
 	// deletes are not evictions).
 	Evicted *obs.Counter
+	// Adopted counts sessions imported whole from a peer handoff (these are
+	// not Created: creation was counted on the replica that made them).
+	Adopted *obs.Counter
+	// HandedOff counts sessions shipped to a peer and tombstoned here.
+	HandedOff *obs.Counter
 }
 
 // Session is one named streaming session: a stream.Stream behind its own
 // mutex, plus the idle bookkeeping eviction needs. Access the stream only
 // through Manager.Do.
 type Session struct {
-	id string
+	id    string
+	owner string // owning client id; "" = anonymous
+	// width and opts are the stream's creation parameters, kept so the
+	// session can be re-encoded as a create+snapshot log for handoff without
+	// reaching into the stream's internals.
+	width int
+	opts  core.Options
 
 	mu  sync.Mutex
 	st  *stream.Stream
@@ -124,6 +150,9 @@ type Session struct {
 
 // ID returns the session's name.
 func (s *Session) ID() string { return s.id }
+
+// Owner returns the owning client id ("" for anonymous sessions).
+func (s *Session) Owner() string { return s.owner }
 
 // Stream returns the session's stream. Only valid inside Manager.DoSession,
 // which holds the session's mutex; the stream must not be retained past the
@@ -159,11 +188,12 @@ func (s *Session) Record(pairs []wal.Pair) error {
 
 // Manager owns the live sessions. Safe for concurrent use.
 type Manager struct {
-	max     int
-	ttl     time.Duration
-	now     func() time.Time
-	journal *wal.Store
-	metrics *Metrics
+	max       int
+	maxClient int
+	ttl       time.Duration
+	now       func() time.Time
+	journal   *wal.Store
+	metrics   *Metrics
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -181,11 +211,12 @@ func NewManager(cfg Config) *Manager {
 		cfg.Now = time.Now
 	}
 	return &Manager{
-		max:      cfg.MaxSessions,
-		ttl:      cfg.TTL,
-		now:      cfg.Now,
-		journal:  cfg.Journal,
-		sessions: make(map[string]*Session),
+		max:       cfg.MaxSessions,
+		maxClient: cfg.MaxClientSessions,
+		ttl:       cfg.TTL,
+		now:       cfg.Now,
+		journal:   cfg.Journal,
+		sessions:  make(map[string]*Session),
 	}
 }
 
@@ -200,6 +231,9 @@ func (m *Manager) Instrument(metrics *Metrics) { m.metrics = metrics }
 
 // MaxSessions returns the live-session cap.
 func (m *Manager) MaxSessions() int { return m.max }
+
+// MaxClientSessions returns the per-client live-session cap (0 = no cap).
+func (m *Manager) MaxClientSessions() int { return m.maxClient }
 
 // TTL returns the idle-eviction horizon (negative = never evict).
 func (m *Manager) TTL() time.Duration { return m.ttl }
@@ -234,14 +268,21 @@ func validID(id string) error {
 	return nil
 }
 
-// Create builds a new session over width-bit outcomes with the given
-// (already facade-mapped) options. An empty id draws a random one; a
-// client-supplied id must be 1-64 bytes of [A-Za-z0-9._-], and one that
-// collides with a live session is ErrExists. At the session cap it is
-// ErrFull — expired sessions are swept first, so a full manager means max
-// genuinely live sessions. Invalid width or options surface as stream.New's
-// errors.
+// Create builds a new anonymous session over width-bit outcomes with the
+// given (already facade-mapped) options. It is CreateOwned with an empty
+// owner, so the per-client quota never applies.
 func (m *Manager) Create(id string, width int, opts core.Options) (*Session, error) {
+	return m.CreateOwned(id, "", width, opts)
+}
+
+// CreateOwned builds a new session owned by a client. An empty id draws a
+// random one; a client-supplied id must be 1-64 bytes of [A-Za-z0-9._-], and
+// one that collides with a live session is ErrExists. At the session cap it
+// is ErrFull — expired sessions are swept first, so a full manager means max
+// genuinely live sessions. A non-empty owner already holding
+// MaxClientSessions live sessions is ErrClientFull. Invalid width or options
+// surface as stream.New's errors.
+func (m *Manager) CreateOwned(id, owner string, width int, opts core.Options) (*Session, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
@@ -260,13 +301,24 @@ func (m *Manager) Create(id string, width int, opts core.Options) (*Session, err
 	if len(m.sessions) >= m.max {
 		return nil, fmt.Errorf("%w (%d live)", ErrFull, len(m.sessions))
 	}
-	s := &Session{id: id, st: st, lastUsed: m.now()}
+	if m.maxClient > 0 && owner != "" {
+		live := 0
+		for _, s := range m.sessions {
+			if s.owner == owner {
+				live++
+			}
+		}
+		if live >= m.maxClient {
+			return nil, fmt.Errorf("%w (%d live for %q)", ErrClientFull, live, owner)
+		}
+	}
+	s := &Session{id: id, owner: owner, width: width, opts: opts, st: st, lastUsed: m.now()}
 	if m.journal != nil {
 		// The log is opened under the manager lock so the id reservation and
 		// its on-disk file appear together. A leftover file for this id (not
 		// recovered, so not a live session) is a journal fault, not a client
 		// collision.
-		log, err := m.journal.Create(id, metaFromOptions(width, opts))
+		log, err := m.journal.Create(id, metaFromOptions(width, opts, owner))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
 		}
@@ -424,16 +476,25 @@ func (m *Manager) Recover() (int, error) {
 				return 0, fmt.Errorf("%w: session %q: %v", ErrJournal, rec.ID, err)
 			}
 		}
-		m.sessions[rec.ID] = &Session{id: rec.ID, st: st, log: rec.Log, lastUsed: now}
+		m.sessions[rec.ID] = &Session{
+			id:       rec.ID,
+			owner:    rec.Meta.Client,
+			width:    rec.Meta.Width,
+			opts:     opts,
+			st:       st,
+			log:      rec.Log,
+			lastUsed: now,
+		}
 	}
 	return len(recovered), nil
 }
 
 // metaFromOptions maps a session's creation parameters onto the journal's
 // create record. Weights and Engine travel as canonical strings so the log
-// survives enum renumbering; Workers is parallelism, not session state, and
-// is deliberately dropped.
-func metaFromOptions(width int, opts core.Options) wal.SessionMeta {
+// survives enum renumbering; the owner rides along so quotas survive restart
+// and handoff; Workers is parallelism, not session state, and is
+// deliberately dropped.
+func metaFromOptions(width int, opts core.Options, owner string) wal.SessionMeta {
 	return wal.SessionMeta{
 		Width:         width,
 		Radius:        opts.Radius,
@@ -441,6 +502,7 @@ func metaFromOptions(width int, opts core.Options) wal.SessionMeta {
 		DisableFilter: opts.DisableFilter,
 		TopM:          opts.TopM,
 		Engine:        opts.Engine,
+		Client:        owner,
 	}
 }
 

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -86,16 +85,9 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Local == nil {
 		return nil, errors.New("shard: no local fallback executor configured")
 	}
-	replicas := make([]string, len(cfg.Replicas))
-	for i, r := range cfg.Replicas {
-		r = strings.TrimSpace(r)
-		if r == "" {
-			return nil, fmt.Errorf("shard: empty replica at position %d", i)
-		}
-		if !strings.Contains(r, "://") {
-			r = "http://" + r
-		}
-		replicas[i] = strings.TrimRight(r, "/")
+	replicas, err := NormalizePeers(cfg.Replicas)
+	if err != nil {
+		return nil, err
 	}
 	client := cfg.Client
 	if client == nil {

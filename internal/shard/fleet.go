@@ -1,0 +1,126 @@
+package shard
+
+// Fleet plumbing shared by every peer-facing surface: the stripe coordinator
+// (-replicas), the peer result-cache probe (-peers), and session handoff
+// (-drain-to) all name peer replicas the same way, and all degrade rather
+// than fail when a peer is down. NormalizePeers is the one place the flag
+// vocabulary ("host:port" or full URL, comma-separated upstream) becomes
+// canonical base URLs; Handoff is the wire client that ships a compacted
+// session WAL to a peer's adoption endpoint with bounded retries.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NormalizePeers canonicalizes a list of peer base addresses: surrounding
+// whitespace is trimmed, a missing scheme defaults to http://, and trailing
+// slashes are stripped so path concatenation is uniform. An empty entry is an
+// error — a typoed double comma should fail loudly at startup, not silently
+// shrink the fleet.
+func NormalizePeers(raw []string) ([]string, error) {
+	out := make([]string, len(raw))
+	for i, r := range raw {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			return nil, fmt.Errorf("shard: empty peer address at position %d", i)
+		}
+		if !strings.Contains(r, "://") {
+			r = "http://" + r
+		}
+		out[i] = strings.TrimRight(r, "/")
+	}
+	return out, nil
+}
+
+// Handoff defaults.
+const (
+	// DefaultHandoffAttempts is how many times Ship tries before giving up.
+	DefaultHandoffAttempts = 3
+	// DefaultHandoffBackoff is the initial retry delay (doubled per attempt).
+	DefaultHandoffBackoff = 50 * time.Millisecond
+)
+
+// ErrHandoffRejected marks a handoff the peer refused with a client-error
+// status (the session already exists there, the payload was judged invalid,
+// or the peer is at capacity with no retry signal). Rejections are terminal:
+// retrying the same bytes cannot succeed, and the caller should keep the
+// session instead.
+var ErrHandoffRejected = errors.New("shard: peer rejected handoff")
+
+// Handoff ships compacted session write-ahead logs to a peer replica's
+// POST /v1/stream/{id}/handoff endpoint. Transport failures and peer 5xx
+// responses are retried with exponential backoff (a drain racing a peer's
+// own restart should not lose sessions to one connection reset); 4xx
+// responses and caller cancellation are terminal.
+type Handoff struct {
+	// Peer is the normalized base URL of the adopting replica.
+	Peer string
+	// Client issues the requests; nil uses http.DefaultClient.
+	Client *http.Client
+	// Attempts bounds tries per Ship call (0 = DefaultHandoffAttempts).
+	Attempts int
+	// Backoff is the initial delay between attempts, doubled each retry
+	// (0 = DefaultHandoffBackoff).
+	Backoff time.Duration
+}
+
+// Ship POSTs one session's WAL bytes to the peer and reports whether the
+// peer durably adopted it. Only a 2xx answer is success; the caller must not
+// tombstone its copy on any other outcome.
+func (h *Handoff) Ship(ctx context.Context, id string, raw []byte) error {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	attempts := h.Attempts
+	if attempts <= 0 {
+		attempts = DefaultHandoffAttempts
+	}
+	backoff := h.Backoff
+	if backoff <= 0 {
+		backoff = DefaultHandoffBackoff
+	}
+	url := h.Peer + "/v1/stream/" + id + "/handoff"
+	var last error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			last = err
+			continue
+		}
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return fmt.Errorf("%w: %s: %s: %s", ErrHandoffRejected, h.Peer, resp.Status, bytes.TrimSpace(snippet))
+		default:
+			last = fmt.Errorf("shard: peer %s: %s: %s", h.Peer, resp.Status, bytes.TrimSpace(snippet))
+		}
+	}
+	return fmt.Errorf("shard: handoff of %q to %s failed after %d attempts: %w", id, h.Peer, attempts, last)
+}

@@ -1,0 +1,95 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fleettest"
+)
+
+func TestNormalizePeers(t *testing.T) {
+	got, err := NormalizePeers([]string{" host:8787 ", "http://a.example/", "https://b.example///"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://host:8787", "http://a.example", "https://b.example"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("peer %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if _, err := NormalizePeers([]string{"a", ""}); err == nil {
+		t.Error("empty entry accepted")
+	}
+	if _, err := NormalizePeers([]string{"  "}); err == nil {
+		t.Error("blank entry accepted")
+	}
+}
+
+func TestHandoffShip(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	defer peer.Close()
+	h := &Handoff{Peer: peer.URL(), Backoff: time.Millisecond}
+	raw := []byte("wal-bytes")
+	if err := h.Ship(context.Background(), "sess-1", raw); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := peer.Adopted("sess-1")
+	if !ok || string(got) != string(raw) {
+		t.Fatalf("adopted = %q, %v", got, ok)
+	}
+}
+
+func TestHandoffShipRetriesTransientFaults(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	defer peer.Close()
+	peer.FailNext(2)
+	h := &Handoff{Peer: peer.URL(), Attempts: 3, Backoff: time.Millisecond}
+	if err := h.Ship(context.Background(), "retry", []byte("x")); err != nil {
+		t.Fatalf("two 500s inside three attempts must succeed: %v", err)
+	}
+	if peer.Handoffs() != 3 {
+		t.Errorf("handoff posts = %d, want 3", peer.Handoffs())
+	}
+	// More faults than attempts: the ship fails (and the caller keeps the
+	// session).
+	peer.FailNext(10)
+	if err := h.Ship(context.Background(), "retry2", []byte("x")); err == nil {
+		t.Fatal("ship succeeded through a solid failure wall")
+	}
+	if _, ok := peer.Adopted("retry2"); ok {
+		t.Error("failed ship recorded as adopted")
+	}
+}
+
+func TestHandoffShipRejectionIsTerminal(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	defer peer.Close()
+	peer.RejectHandoffs(409)
+	h := &Handoff{Peer: peer.URL(), Attempts: 5, Backoff: time.Millisecond}
+	err := h.Ship(context.Background(), "dup", []byte("x"))
+	if !errors.Is(err, ErrHandoffRejected) {
+		t.Fatalf("Ship = %v, want ErrHandoffRejected", err)
+	}
+	// A 4xx is terminal: no retries were burned on it.
+	if peer.Handoffs() != 1 {
+		t.Errorf("handoff posts = %d, want 1 (no retry on rejection)", peer.Handoffs())
+	}
+}
+
+func TestHandoffShipDeadPeerAndCancel(t *testing.T) {
+	peer := fleettest.New(fleettest.Config{})
+	url := peer.URL()
+	peer.Close()
+	h := &Handoff{Peer: url, Attempts: 2, Backoff: time.Millisecond}
+	if err := h.Ship(context.Background(), "dead", []byte("x")); err == nil {
+		t.Fatal("ship to a dead peer succeeded")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := h.Ship(ctx, "cancelled", []byte("x")); err == nil {
+		t.Fatal("ship with cancelled context succeeded")
+	}
+}

@@ -35,6 +35,18 @@
 // CompactFactor x the session's support (floored at MinCompactPairs) — so
 // steady-state log size is bounded by support size, not shot count.
 //
+// // # Handoff
+//
+// The log format doubles as the fleet's session-migration wire format.
+// EncodeSession renders a session's state as a compacted log (create +
+// snapshot) without touching disk — byte-identical to what Compact would
+// leave, because both render through the same frame writer — and
+// Store.Import is the receiving half: it validates the shipped bytes whole
+// (create record present, every frame CRC-valid, nothing past the last
+// record) before creating the log file, so a corrupt handoff leaves no file
+// and no state. An imported log is immediately live for appends; its
+// replay-on-restart path is exactly the crash-recovery one.
+//
 // # Sync policy
 //
 // SyncAlways (the default) fsyncs after every append: an acknowledged ingest

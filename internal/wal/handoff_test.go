@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestEncodeSessionRoundTrip(t *testing.T) {
+	meta := SessionMeta{Width: 8, Radius: 2, Weights: "uniform", TopM: 5, Engine: "bucketed", Client: "alice"}
+	hist := []Pair{{X: 0b101, K: 3}, {X: 0b1, K: 7}, {X: 0xFF, K: 1}}
+	raw, err := EncodeSession(meta, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ReplayBytes(raw)
+	if !rep.HasMeta || rep.Torn {
+		t.Fatalf("replay: hasMeta %v torn %v", rep.HasMeta, rep.Torn)
+	}
+	if rep.Meta != meta {
+		t.Errorf("meta round trip: %+v != %+v", rep.Meta, meta)
+	}
+	if rep.Shots != 11 || len(rep.Counts) != 3 {
+		t.Errorf("shots %d support %d", rep.Shots, len(rep.Counts))
+	}
+	for _, p := range hist {
+		if rep.Counts[p.X] != p.K {
+			t.Errorf("count[%b] = %d, want %d", p.X, rep.Counts[p.X], p.K)
+		}
+	}
+	// The encoding is snapshot-form: a replay starts its compaction cadence
+	// fresh, exactly like a just-compacted log.
+	if rep.PairsSinceSnapshot != 0 {
+		t.Errorf("pairs since snapshot = %d", rep.PairsSinceSnapshot)
+	}
+	// Deterministic: the same histogram in any order encodes to the same
+	// bytes (pairs are sorted by outcome first).
+	reversed := []Pair{{X: 0xFF, K: 1}, {X: 0b1, K: 7}, {X: 0b101, K: 3}}
+	raw2, err := EncodeSession(meta, reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("encoding depends on input order")
+	}
+}
+
+func TestEncodeSessionEmptyHistogram(t *testing.T) {
+	meta := SessionMeta{Width: 4, Weights: "uniform"}
+	raw, err := EncodeSession(meta, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := ReplayBytes(raw)
+	if !rep.HasMeta || rep.Torn || rep.Shots != 0 {
+		t.Fatalf("empty session replay: %+v", rep)
+	}
+}
+
+func TestEncodeSessionValidates(t *testing.T) {
+	good := SessionMeta{Width: 4, Weights: "uniform"}
+	if _, err := EncodeSession(SessionMeta{Width: 0, Weights: "uniform"}, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := EncodeSession(good, []Pair{{X: 1, K: 0}}); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := EncodeSession(good, []Pair{{X: 1 << 10, K: 1}}); err == nil {
+		t.Error("outcome wider than the session accepted")
+	}
+	if _, err := EncodeSession(SessionMeta{Width: 4, Weights: "uniform", Client: strings.Repeat("c", 200)}, nil); err == nil {
+		t.Error("oversized client id accepted")
+	}
+}
+
+func TestStoreImportRoundTrip(t *testing.T) {
+	meta := SessionMeta{Width: 8, Weights: "uniform", Client: "bob"}
+	hist := []Pair{{X: 3, K: 5}, {X: 9, K: 2}}
+	raw, err := EncodeSession(meta, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	s := mustOpen(t, root, Options{Sync: SyncAlways})
+	l, err := s.Import("adopted", raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The imported log is live: appends land and survive a restart together
+	// with the shipped state.
+	if err := l.Append([]Pair{{X: 3, K: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// A second import under the same id must fail whole (the id is taken).
+	if _, err := s.Import("adopted", raw); err == nil {
+		t.Fatal("duplicate import accepted")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, root, Options{Sync: SyncNever})
+	defer s2.Close()
+	recovered, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d sessions", len(recovered))
+	}
+	rec := recovered[0]
+	if rec.ID != "adopted" || rec.Meta != meta {
+		t.Errorf("recovered %q %+v", rec.ID, rec.Meta)
+	}
+	counts := make(map[uint64]int)
+	for _, p := range rec.Counts {
+		counts[p.X] += p.K
+	}
+	if counts[3] != 6 || counts[9] != 2 {
+		t.Errorf("recovered counts %v", counts)
+	}
+}
+
+func TestStoreImportRejectsCorruptWhole(t *testing.T) {
+	meta := SessionMeta{Width: 8, Weights: "uniform"}
+	raw, err := EncodeSession(meta, []Pair{{X: 1, K: 1}, {X: 2, K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	s := mustOpen(t, root, Options{Sync: SyncNever})
+	defer s.Close()
+
+	cases := map[string][]byte{
+		"empty":       nil,
+		"truncated":   raw[:len(raw)-3],
+		"garbage":     []byte("not a wal log at all"),
+		"no-create":   raw[12:],
+		"extra-tail":  append(append([]byte(nil), raw...), 0xDE, 0xAD),
+		"flipped-crc": flipByte(raw, 5),
+		"flipped-mid": flipByte(raw, len(raw)/2),
+		"flipped-end": flipByte(raw, len(raw)-1),
+	}
+	for name, bad := range cases {
+		if bytes.Equal(bad, raw) {
+			t.Fatalf("case %s did not mutate", name)
+		}
+		if _, err := s.Import("x-"+name, bad); err == nil {
+			t.Errorf("%s: corrupt import accepted", name)
+		}
+		// All-or-nothing: a rejected import leaves no file behind.
+		if _, statErr := os.Stat(s.logPath("x-" + name)); !os.IsNotExist(statErr) {
+			t.Errorf("%s: rejected import left a log file", name)
+		}
+	}
+}
+
+// flipByte returns a copy of b with one byte inverted.
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}

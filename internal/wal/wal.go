@@ -66,7 +66,15 @@ type SessionMeta struct {
 	TopM int `json:"topm,omitempty"`
 	// Engine is the pinned engine name ("" = auto).
 	Engine string `json:"engine,omitempty"`
+	// Client is the owning client's id ("" = anonymous). It rides the log so
+	// per-client session quotas survive restarts and peer handoffs; it never
+	// affects reconstruction.
+	Client string `json:"client,omitempty"`
 }
+
+// maxClientLen bounds the client id carried in a create record; the serving
+// layer caps ids well below this, so a longer one is a forged log.
+const maxClientLen = 128
 
 func (m SessionMeta) validate() error {
 	if m.Width < 1 || m.Width > 64 {
@@ -77,6 +85,9 @@ func (m SessionMeta) validate() error {
 	}
 	if m.TopM < 0 {
 		return fmt.Errorf("wal: negative TopM %d", m.TopM)
+	}
+	if len(m.Client) > maxClientLen {
+		return fmt.Errorf("wal: client id longer than %d bytes", maxClientLen)
 	}
 	return nil
 }
@@ -170,6 +181,8 @@ type Metrics struct {
 	Compactions *obs.Counter
 	// Pruned counts session logs tombstoned by eviction or explicit delete.
 	Pruned *obs.Counter
+	// Imported counts session logs adopted whole from a peer handoff.
+	Imported *obs.Counter
 	// RecoveredSessions counts logs successfully replayed at startup.
 	RecoveredSessions *obs.Counter
 	// TornTails counts logs whose trailing bytes were truncated at recovery
@@ -546,32 +559,14 @@ func (l *Log) Compact(hist []Pair) error {
 			return fmt.Errorf("wal: snapshot outcome %b exceeds %d bits", p.X, l.meta.Width)
 		}
 	}
-	metaBody, err := json.Marshal(l.meta)
+	frames, err := sessionFrames(l.meta, sorted)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return err
 	}
 	tmp := l.path + ".compact"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
-	}
-	var frames []byte
-	frames = appendFrame(frames, recCreate, metaBody)
-	// Snapshot records are bounded like batches: an outsized support splits
-	// into one snapshot record (which resets the replayed histogram) plus
-	// batch records (which accumulate onto it).
-	first := true
-	for len(sorted) > 0 {
-		chunk := sorted
-		if len(chunk) > maxPairsPerRecord {
-			chunk = chunk[:maxPairsPerRecord]
-		}
-		sorted = sorted[len(chunk):]
-		typ := recBatch
-		if first {
-			typ, first = recSnapshot, false
-		}
-		frames = appendFrame(frames, typ, encodePairs(nil, chunk))
 	}
 	if _, err := f.Write(frames); err != nil {
 		f.Close()
@@ -601,6 +596,112 @@ func (l *Log) Compact(hist []Pair) error {
 	}
 	l.store.m().Compactions.Inc()
 	return nil
+}
+
+// sessionFrames renders the canonical compacted log image — the create
+// record followed by the histogram as one snapshot record (chunked into
+// snapshot+batch records past maxPairsPerRecord, since a snapshot record
+// resets the replayed histogram and batch records accumulate onto it).
+// Compact writes these frames over the live log; EncodeSession hands them to
+// a peer. sorted must already be validated and sorted by outcome.
+func sessionFrames(meta SessionMeta, sorted []Pair) ([]byte, error) {
+	metaBody, err := json.Marshal(meta)
+	if err != nil {
+		// Unreachable: SessionMeta is plain data.
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	frames := appendFrame(nil, recCreate, metaBody)
+	first := true
+	for len(sorted) > 0 {
+		chunk := sorted
+		if len(chunk) > maxPairsPerRecord {
+			chunk = chunk[:maxPairsPerRecord]
+		}
+		sorted = sorted[len(chunk):]
+		typ := recBatch
+		if first {
+			typ, first = recSnapshot, false
+		}
+		frames = appendFrame(frames, typ, encodePairs(nil, chunk))
+	}
+	return frames, nil
+}
+
+// EncodeSession renders a session's current state as a freshly compacted
+// write-ahead log — exactly the create+snapshot byte image Compact writes —
+// ready to ship to a peer replica, whose Store.Import (or startup Recover)
+// replays it into an identical session. It is a pure function of
+// (meta, hist): no Store is needed, so in-memory (non-journaled) sessions
+// hand off through the same wire format as durable ones.
+func EncodeSession(meta SessionMeta, hist []Pair) ([]byte, error) {
+	if err := meta.validate(); err != nil {
+		return nil, err
+	}
+	mask := widthMask(meta.Width)
+	sorted := make([]Pair, len(hist))
+	copy(sorted, hist)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].X < sorted[j].X })
+	for _, p := range sorted {
+		if p.K <= 0 {
+			return nil, fmt.Errorf("wal: non-positive snapshot count %d for outcome %b", p.K, p.X)
+		}
+		if p.X&^mask != 0 {
+			return nil, fmt.Errorf("wal: snapshot outcome %b exceeds %d bits", p.X, meta.Width)
+		}
+	}
+	return sessionFrames(meta, sorted)
+}
+
+// Import adopts a shipped log whole: raw must replay cleanly end to end —  a
+// valid create record and not one trailing byte past the last valid record —
+// or the import is rejected without touching disk, so a byte-flipped or
+// truncated handoff can never produce a half-imported session. On success
+// the bytes are written verbatim as the session's log (with Create's
+// durability guarantees) and the log is open for further appends.
+func (s *Store) Import(id string, raw []byte) (*Log, error) {
+	rep := ReplayBytes(raw)
+	if !rep.HasMeta {
+		return nil, fmt.Errorf("wal: import %q: no valid create record", id)
+	}
+	if rep.Torn {
+		return nil, fmt.Errorf("wal: import %q: invalid bytes past offset %d", id, rep.Good)
+	}
+	path := s.logPath(id)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if err := syncDir(s.dir); err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, err
+		}
+	}
+	l := &Log{
+		store:          s,
+		id:             id,
+		path:           path,
+		meta:           rep.Meta,
+		f:              f,
+		off:            rep.Good,
+		pairsSinceSnap: rep.PairsSinceSnapshot,
+	}
+	s.mu.Lock()
+	s.logs[id] = l
+	s.mu.Unlock()
+	s.m().Imported.Inc()
+	return l, nil
 }
 
 // writeRecordLocked frames and writes one record; the caller holds l.mu.
